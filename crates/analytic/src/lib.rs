@@ -1,0 +1,39 @@
+//! The paper's analytic performance model (§5).
+//!
+//! A small closed-form model of a speculative coherent DSM's speedup:
+//!
+//! * **Equation 1** — communication-time speedup:
+//!   `1 / ((1-f) + f·(p/rtl + n·(1-p)))`
+//! * **Equation 2** — overall speedup:
+//!   `1 / ((1-c) + c/comm_speedup)`
+//!
+//! with `c` the application's communication ratio on the critical path,
+//! `f` the fraction of speculatively-executed requests, `p` the
+//! prediction accuracy, `rtl` the remote-to-local latency ratio, and
+//! `n` the misspeculation penalty factor.
+//!
+//! [`figure6`] regenerates the four panels of the paper's Figure 6.
+//!
+//! # Example
+//!
+//! ```
+//! use specdsm_analytic::ModelParams;
+//!
+//! // The paper's base point: n = 2, f = 1.0, rtl = 4.
+//! let m = ModelParams { f: 1.0, p: 1.0, rtl: 4.0, n: 2.0 };
+//! // Perfect prediction turns every remote access local:
+//! assert_eq!(m.comm_speedup(), 4.0);
+//! // A fully communication-bound application speeds up by rtl.
+//! assert!((m.speedup(1.0) - 4.0).abs() < 1e-12);
+//! // A compute-only application is unaffected.
+//! assert!((m.speedup(0.0) - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod model;
+mod sweep;
+
+pub use model::ModelParams;
+pub use sweep::{figure6, Figure6Panel, Series};

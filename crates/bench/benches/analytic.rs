@@ -1,0 +1,17 @@
+//! Criterion benches: analytic model evaluation (Figure 6 sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specdsm_analytic::{figure6, ModelParams};
+
+fn bench_model(c: &mut Criterion) {
+    c.bench_function("analytic_point", |b| {
+        let m = ModelParams::paper_base(0.9);
+        b.iter(|| std::hint::black_box(m.speedup(std::hint::black_box(0.7))));
+    });
+    c.bench_function("analytic_figure6_sweep", |b| {
+        b.iter(|| figure6(std::hint::black_box(100)));
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches: whole-application simulations (quick scale), one
+//! per paper application and system — the machinery behind Figure 9 /
+//! Table 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specdsm_protocol::{SpecPolicy, System, SystemConfig};
+use specdsm_types::MachineConfig;
+use specdsm_workloads::{AppId, Scale};
+
+fn bench_apps(c: &mut Criterion) {
+    let machine = MachineConfig::paper_machine();
+    let mut group = c.benchmark_group("end_to_end_quick");
+    group.sample_size(10);
+    for app in AppId::ALL {
+        for policy in SpecPolicy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(app.to_string(), policy.to_string()),
+                &(app, policy),
+                |b, &(a, p)| {
+                    let w = a.build(&machine, Scale::Quick);
+                    let mcfg = machine.clone();
+                    b.iter(|| {
+                        let cfg = SystemConfig {
+                            machine: mcfg.clone(),
+                            policy: p,
+                            ..SystemConfig::default()
+                        };
+                        System::new(cfg, w.as_ref()).expect("valid").run().exec_cycles
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches: coherence protocol transaction throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specdsm_protocol::{SpecPolicy, System, SystemConfig};
+use specdsm_types::MachineConfig;
+use specdsm_workloads::{Migratory, ProducerConsumer, WideSharing};
+use specdsm_types::Workload;
+
+fn run(policy: SpecPolicy, w: &dyn Workload) -> u64 {
+    let cfg = SystemConfig {
+        machine: MachineConfig::paper_machine(),
+        policy,
+        ..SystemConfig::default()
+    };
+    System::new(cfg, w).expect("valid").run().exec_cycles
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let machine = MachineConfig::paper_machine();
+    let pc = ProducerConsumer::new(machine.clone(), 32, 4, 10);
+    let mig = Migratory::new(machine.clone(), 16, 4, 10);
+    let wide = WideSharing::new(machine, 8, 10);
+    let patterns: [(&str, &dyn Workload); 3] = [
+        ("producer_consumer", &pc),
+        ("migratory", &mig),
+        ("wide_sharing", &wide),
+    ];
+    let mut group = c.benchmark_group("protocol_micro");
+    group.sample_size(20);
+    for (name, w) in patterns {
+        for policy in SpecPolicy::ALL {
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(name, policy.to_string()),
+                &policy,
+                |b, &p| b.iter(|| run(p, w)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion benches: workload stream generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specdsm_types::MachineConfig;
+use specdsm_workloads::{suite, AppId, Scale};
+
+fn bench_generation(c: &mut Criterion) {
+    let machine = MachineConfig::paper_machine();
+    let mut group = c.benchmark_group("workload_generation");
+    for app in AppId::ALL {
+        group.bench_with_input(BenchmarkId::new("quick", app.to_string()), &app, |b, &a| {
+            let w = a.build(&machine, Scale::Quick);
+            b.iter(|| {
+                let ops: usize = w.build_streams().into_iter().map(Iterator::count).sum();
+                ops
+            });
+        });
+    }
+    group.finish();
+    c.bench_function("suite_construction", |b| {
+        b.iter(|| suite(&machine, Scale::Quick).len());
+    });
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

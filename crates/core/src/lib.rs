@@ -1,0 +1,80 @@
+//! Memory Sharing Predictors — the paper's primary contribution.
+//!
+//! This crate implements the three pattern-based coherence predictors
+//! evaluated by Lai & Falsafi (ISCA '99), all derived from Yeh & Patt's
+//! two-level adaptive PAp branch predictor:
+//!
+//! * [`Cosmos`] — the baseline *general message predictor* of Mukherjee &
+//!   Hill (ISCA '98). It learns and predicts **every** incoming directory
+//!   message for a block: read/write/upgrade requests *and* the
+//!   invalidation-ack / writeback acknowledgements.
+//! * [`Msp`] — the **Memory Sharing Predictor**. Identical machinery, but
+//!   only *request* messages enter the history and pattern tables. Acks
+//!   are always expected anyway, and dropping them removes the
+//!   perturbation caused by ack re-ordering, shrinks the tables, and
+//!   needs one bit less per message type.
+//! * [`Vmsp`] — the **Vector MSP**. Folds an entire read sequence into a
+//!   single [`ReaderSet`] bit-vector pattern entry, the way a full-map
+//!   directory tracks sharers, eliminating read re-ordering effects
+//!   entirely.
+//!
+//! All three implement [`SharingPredictor`], observe a per-block
+//! [`DirMsg`] stream, and report accuracy/coverage via
+//! [`PredictorStats`] and storage via [`StorageReport`] (the byte
+//! formulas of the paper's Table 4).
+//!
+//! The crate also hosts the decision logic of the speculative DSM:
+//! [`SwiTable`] (the Speculative Write-Invalidation early-write-invalidate
+//! table, one entry per processor) and the VMSP speculation hooks
+//! ([`Vmsp::predicted_readers`], [`Vmsp::speculate_readers`],
+//! [`Vmsp::prune_reader`]) used by the protocol crate to implement the
+//! FR and SWI trigger mechanisms.
+//!
+//! # Example: the paper's Figure 3/4 producer–consumer pattern
+//!
+//! ```
+//! use specdsm_core::{SharingPredictor, Vmsp};
+//! use specdsm_types::{BlockAddr, DirMsg, ProcId};
+//!
+//! let block = BlockAddr(0x100);
+//! let (p1, p2, p3) = (ProcId(1), ProcId(2), ProcId(3));
+//! let phase = [DirMsg::upgrade(p3), DirMsg::read(p1), DirMsg::read(p2)];
+//!
+//! let mut vmsp = Vmsp::new(1, 16);
+//! for _ in 0..8 {
+//!     for msg in phase {
+//!         vmsp.observe(block, msg);
+//!     }
+//! }
+//! // After a few iterations the pattern is fully learned.
+//! let stats = vmsp.stats();
+//! assert!(stats.accuracy() > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cosmos;
+mod eval;
+mod msp;
+mod predictor;
+mod stats;
+mod storage;
+mod swi;
+mod symbol;
+mod table;
+mod twolevel;
+mod vmsp;
+
+pub use cosmos::Cosmos;
+pub use eval::{evaluate_trace, DirectoryTrace, TraceEval};
+pub use msp::Msp;
+pub use predictor::{PredictorKind, SharingPredictor};
+pub use stats::{Observation, PredictorStats};
+pub use storage::{StorageModel, StorageReport};
+pub use swi::SwiTable;
+pub use symbol::{HistoryKey, Symbol};
+pub use table::{History, PatternEntry, PatternTable};
+pub use vmsp::{SpecTicket, Vmsp};
+
+pub use specdsm_types::{DirMsg, ReaderSet};

@@ -1,0 +1,187 @@
+//! Pattern-table symbols: the alphabet a predictor learns over.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use specdsm_types::{AckKind, DirMsg, ProcId, ReaderSet, ReqKind};
+
+/// One history/pattern-table symbol.
+///
+/// * Cosmos uses [`Symbol::Req`] and [`Symbol::Ack`].
+/// * MSP uses only [`Symbol::Req`].
+/// * VMSP uses [`Symbol::Req`] for writes/upgrades and
+///   [`Symbol::ReadVec`] for whole read sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Symbol {
+    /// A request message `<kind, proc>`.
+    Req(ReqKind, ProcId),
+    /// An acknowledgement message `<kind, proc>` (Cosmos only).
+    Ack(AckKind, ProcId),
+    /// A read sequence folded into a reader bit-vector (VMSP only).
+    ReadVec(ReaderSet),
+}
+
+impl Symbol {
+    /// Converts a directory message into a symbol (requests and acks
+    /// map one-to-one; vectors are built by VMSP, not by conversion).
+    #[must_use]
+    pub fn from_msg(msg: DirMsg) -> Symbol {
+        match msg {
+            DirMsg::Request(kind, p) => Symbol::Req(kind, p),
+            DirMsg::Ack(kind, p) => Symbol::Ack(kind, p),
+        }
+    }
+
+    /// The request content if this symbol is a request.
+    #[must_use]
+    pub fn request(&self) -> Option<(ReqKind, ProcId)> {
+        match *self {
+            Symbol::Req(kind, p) => Some((kind, p)),
+            _ => None,
+        }
+    }
+
+    /// The reader vector if this symbol is a read sequence.
+    #[must_use]
+    pub fn read_vec(&self) -> Option<ReaderSet> {
+        match *self {
+            Symbol::ReadVec(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit encoding used for history hashing.
+    #[must_use]
+    fn encode(&self) -> u64 {
+        match *self {
+            Symbol::Req(kind, p) => {
+                let k = match kind {
+                    ReqKind::Read => 0u64,
+                    ReqKind::Write => 1,
+                    ReqKind::Upgrade => 2,
+                };
+                (p.0 as u64) << 8 | k
+            }
+            Symbol::Ack(kind, p) => {
+                let k = match kind {
+                    AckKind::InvAck => 3u64,
+                    AckKind::Writeback => 4,
+                };
+                (p.0 as u64) << 8 | k
+            }
+            Symbol::ReadVec(v) => v.bits() << 8 | 5,
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::Req(kind, p) => write!(f, "<{kind}, {p}>"),
+            Symbol::Ack(kind, p) => write!(f, "<{kind}, {p}>"),
+            Symbol::ReadVec(v) => write!(f, "<Read, {v}>"),
+        }
+    }
+}
+
+/// A stable hash of a history window, used as a compact handle when the
+/// protocol needs to refer back to "the pattern entry that was current
+/// when speculation was triggered" (SWI premature bits, read-vector
+/// pruning).
+///
+/// # Example
+///
+/// ```
+/// use specdsm_core::{HistoryKey, Symbol};
+/// use specdsm_types::{ProcId, ReqKind};
+///
+/// let h = [Symbol::Req(ReqKind::Upgrade, ProcId(3))];
+/// assert_eq!(HistoryKey::of(&h), HistoryKey::of(&h));
+/// assert_ne!(
+///     HistoryKey::of(&h),
+///     HistoryKey::of(&[Symbol::Req(ReqKind::Upgrade, ProcId(2))]),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HistoryKey(u64);
+
+impl HistoryKey {
+    /// Hashes a history window (FNV-1a over the stable symbol encoding).
+    #[must_use]
+    pub fn of(history: &[Symbol]) -> HistoryKey {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for sym in history {
+            let e = sym.encode();
+            for shift in (0..64).step_by(8) {
+                h ^= (e >> shift) & 0xFF;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        HistoryKey(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_msg_round_trip() {
+        let m = DirMsg::read(ProcId(2));
+        assert_eq!(Symbol::from_msg(m), Symbol::Req(ReqKind::Read, ProcId(2)));
+        let a = DirMsg::ack_inv(ProcId(1));
+        assert_eq!(
+            Symbol::from_msg(a),
+            Symbol::Ack(AckKind::InvAck, ProcId(1))
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Symbol::Req(ReqKind::Write, ProcId(4));
+        assert_eq!(s.request(), Some((ReqKind::Write, ProcId(4))));
+        assert_eq!(s.read_vec(), None);
+        let v = Symbol::ReadVec(ReaderSet::single(ProcId(1)));
+        assert_eq!(v.read_vec(), Some(ReaderSet::single(ProcId(1))));
+        assert_eq!(v.request(), None);
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let symbols = [
+            Symbol::Req(ReqKind::Read, ProcId(1)),
+            Symbol::Req(ReqKind::Write, ProcId(1)),
+            Symbol::Req(ReqKind::Upgrade, ProcId(1)),
+            Symbol::Ack(AckKind::InvAck, ProcId(1)),
+            Symbol::Ack(AckKind::Writeback, ProcId(1)),
+            Symbol::ReadVec(ReaderSet::single(ProcId(1))),
+            Symbol::Req(ReqKind::Read, ProcId(2)),
+        ];
+        for (i, a) in symbols.iter().enumerate() {
+            for (j, b) in symbols.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.encode(), b.encode(), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn history_key_distinguishes_order() {
+        let a = Symbol::Req(ReqKind::Read, ProcId(1));
+        let b = Symbol::Req(ReqKind::Read, ProcId(2));
+        assert_ne!(HistoryKey::of(&[a, b]), HistoryKey::of(&[b, a]));
+        assert_ne!(HistoryKey::of(&[a]), HistoryKey::of(&[a, a]));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(
+            Symbol::Req(ReqKind::Upgrade, ProcId(3)).to_string(),
+            "<Upgrade, P3>"
+        );
+        let v = Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+        assert_eq!(v.to_string(), "<Read, {P1,P2}>");
+    }
+}

@@ -1,0 +1,297 @@
+//! Two-level tables: per-block history registers and pattern tables.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::symbol::{HistoryKey, Symbol};
+
+/// One pattern-table entry: the observed immediate successor of a
+/// history window, "the prediction ... when the sequence last occurred"
+/// (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternEntry {
+    /// Predicted next symbol.
+    pub prediction: Symbol,
+    /// SWI premature-invalidation bit: set when a speculative write
+    /// invalidation triggered from this entry proved premature, which
+    /// suppresses further SWI for this pattern (paper §4.2).
+    pub swi_premature: bool,
+    /// How many times this entry has been consulted for a prediction
+    /// (reuse frequency; relates to the paper's `f` parameter).
+    pub uses: u64,
+}
+
+impl PatternEntry {
+    fn new(prediction: Symbol) -> Self {
+        PatternEntry {
+            prediction,
+            swi_premature: false,
+            uses: 0,
+        }
+    }
+}
+
+/// A per-block pattern table keyed by history window.
+///
+/// The key is the exact symbol sequence (not its hash); [`HistoryKey`]
+/// hashes are only used as compact external handles.
+#[derive(Debug, Clone, Default)]
+pub struct PatternTable {
+    entries: HashMap<Box<[Symbol]>, PatternEntry>,
+}
+
+impl PatternTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the prediction for `history`, counting a use.
+    pub fn predict(&mut self, history: &[Symbol]) -> Option<Symbol> {
+        self.entries.get_mut(history).map(|e| {
+            e.uses += 1;
+            e.prediction
+        })
+    }
+
+    /// Looks up the prediction without counting a use.
+    #[must_use]
+    pub fn peek(&self, history: &[Symbol]) -> Option<&PatternEntry> {
+        self.entries.get(history)
+    }
+
+    /// Last-occurrence update: records `successor` as the prediction for
+    /// `history`, preserving the entry's SWI bit if it already exists.
+    pub fn learn(&mut self, history: &[Symbol], successor: Symbol) {
+        match self.entries.entry(history.into()) {
+            Entry::Occupied(mut o) => o.get_mut().prediction = successor,
+            Entry::Vacant(v) => {
+                v.insert(PatternEntry::new(successor));
+            }
+        }
+    }
+
+    /// Sets the SWI premature bit on the entry for `history` whose hash
+    /// is `key`, creating nothing if the entry has disappeared.
+    ///
+    /// Matching by hash lets the protocol refer to the entry without
+    /// retaining the symbol sequence.
+    pub fn set_swi_premature(&mut self, key: HistoryKey) {
+        for (hist, entry) in &mut self.entries {
+            if HistoryKey::of(hist) == key {
+                entry.swi_premature = true;
+                return;
+            }
+        }
+    }
+
+    /// Whether SWI is suppressed for `history`.
+    #[must_use]
+    pub fn swi_suppressed(&self, history: &[Symbol]) -> bool {
+        self.entries
+            .get(history)
+            .is_some_and(|e| e.swi_premature)
+    }
+
+    /// Removes a reader from a vector prediction (speculation
+    /// verification: "removes mispredicted request sequences from the
+    /// pattern tables", paper §4.2). Returns `true` if an entry changed.
+    pub fn prune_reader(&mut self, key: HistoryKey, reader: specdsm_types::ProcId) -> bool {
+        let mut doomed: Option<Box<[Symbol]>> = None;
+        let mut changed = false;
+        for (hist, entry) in &mut self.entries {
+            if HistoryKey::of(hist) != key {
+                continue;
+            }
+            if let Symbol::ReadVec(mut v) = entry.prediction {
+                if v.remove(reader) {
+                    changed = true;
+                    if v.is_empty() {
+                        doomed = Some(hist.clone());
+                    } else {
+                        entry.prediction = Symbol::ReadVec(v);
+                    }
+                }
+            }
+            break;
+        }
+        if let Some(hist) = doomed {
+            self.entries.remove(&hist);
+        }
+        changed
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(history, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Symbol], &PatternEntry)> {
+        self.entries.iter().map(|(h, e)| (h.as_ref(), e))
+    }
+}
+
+/// A bounded history register (the per-block row of the first-level
+/// history table).
+///
+/// Holds the most recent `depth` symbols; predictions are only made once
+/// the register is full (warm-up), mirroring hardware that initializes
+/// history before predicting.
+#[derive(Debug, Clone)]
+pub struct History {
+    depth: usize,
+    window: Vec<Symbol>,
+}
+
+impl History {
+    /// Creates an empty register of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "history depth must be at least 1");
+        History {
+            depth,
+            window: Vec::with_capacity(depth),
+        }
+    }
+
+    /// Whether the register holds `depth` symbols.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.window.len() == self.depth
+    }
+
+    /// The current window, oldest symbol first.
+    #[must_use]
+    pub fn window(&self) -> &[Symbol] {
+        &self.window
+    }
+
+    /// Shifts in a new symbol, discarding the oldest once full.
+    pub fn push(&mut self, sym: Symbol) {
+        if self.window.len() == self.depth {
+            self.window.remove(0);
+        }
+        self.window.push(sym);
+    }
+
+    /// The configured depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Compact hash of the current window.
+    #[must_use]
+    pub fn key(&self) -> HistoryKey {
+        HistoryKey::of(&self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specdsm_types::{ProcId, ReaderSet, ReqKind};
+
+    fn req(kind: ReqKind, p: usize) -> Symbol {
+        Symbol::Req(kind, ProcId(p))
+    }
+
+    #[test]
+    fn history_warms_up_then_slides() {
+        let mut h = History::new(2);
+        assert!(!h.is_full());
+        h.push(req(ReqKind::Read, 1));
+        assert!(!h.is_full());
+        h.push(req(ReqKind::Read, 2));
+        assert!(h.is_full());
+        assert_eq!(h.window().len(), 2);
+        h.push(req(ReqKind::Write, 3));
+        assert_eq!(
+            h.window(),
+            &[req(ReqKind::Read, 2), req(ReqKind::Write, 3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "history depth")]
+    fn zero_depth_panics() {
+        let _ = History::new(0);
+    }
+
+    #[test]
+    fn table_learns_last_occurrence() {
+        let mut t = PatternTable::new();
+        let h = [req(ReqKind::Upgrade, 3)];
+        assert_eq!(t.predict(&h), None);
+        t.learn(&h, req(ReqKind::Read, 1));
+        assert_eq!(t.predict(&h), Some(req(ReqKind::Read, 1)));
+        // Last occurrence wins.
+        t.learn(&h, req(ReqKind::Read, 2));
+        assert_eq!(t.predict(&h), Some(req(ReqKind::Read, 2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn learn_preserves_swi_bit() {
+        let mut t = PatternTable::new();
+        let h = [req(ReqKind::Write, 1)];
+        t.learn(&h, req(ReqKind::Read, 2));
+        t.set_swi_premature(HistoryKey::of(&h));
+        assert!(t.swi_suppressed(&h));
+        t.learn(&h, req(ReqKind::Read, 3));
+        assert!(t.swi_suppressed(&h), "swi bit survives re-learning");
+    }
+
+    #[test]
+    fn prune_reader_shrinks_vector() {
+        let mut t = PatternTable::new();
+        let h = [req(ReqKind::Write, 3)];
+        let vec = ReaderSet::from_iter([ProcId(1), ProcId(2)]);
+        t.learn(&h, Symbol::ReadVec(vec));
+        let key = HistoryKey::of(&h);
+        assert!(t.prune_reader(key, ProcId(2)));
+        assert_eq!(
+            t.peek(&h).unwrap().prediction,
+            Symbol::ReadVec(ReaderSet::single(ProcId(1)))
+        );
+        // Pruning the last reader removes the entry entirely.
+        assert!(t.prune_reader(key, ProcId(1)));
+        assert!(t.is_empty());
+        // Pruning a missing entry is a no-op.
+        assert!(!t.prune_reader(key, ProcId(1)));
+    }
+
+    #[test]
+    fn prune_reader_ignores_non_vector_entries() {
+        let mut t = PatternTable::new();
+        let h = [req(ReqKind::Read, 1)];
+        t.learn(&h, req(ReqKind::Write, 2));
+        assert!(!t.prune_reader(HistoryKey::of(&h), ProcId(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn uses_counted_on_predict_not_peek() {
+        let mut t = PatternTable::new();
+        let h = [req(ReqKind::Read, 1)];
+        t.learn(&h, req(ReqKind::Read, 2));
+        t.predict(&h);
+        t.predict(&h);
+        assert_eq!(t.peek(&h).unwrap().uses, 2);
+    }
+}

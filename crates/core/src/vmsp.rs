@@ -1,0 +1,437 @@
+//! VMSP: the Vector Memory Sharing Predictor.
+
+use std::collections::{HashMap, HashSet};
+
+use specdsm_types::{BlockAddr, DirMsg, ProcId, ReaderSet, ReqKind};
+
+use crate::predictor::{PredictorKind, SharingPredictor};
+use crate::stats::{Observation, PredictorStats};
+use crate::storage::{StorageModel, StorageReport};
+use crate::symbol::{HistoryKey, Symbol};
+use crate::table::{History, PatternTable};
+
+/// The Vector MSP (paper §3.1): read sequences become bit-vectors.
+///
+/// Because a full-map protocol lets many processors cache a read-only
+/// copy simultaneously, a predictor only needs to identify *who* reads —
+/// not in what order. VMSP therefore accumulates consecutive read
+/// requests into a [`ReaderSet`] and commits the vector as a single
+/// history/pattern symbol when the next write or upgrade closes the read
+/// phase. This removes read re-ordering perturbation entirely and
+/// shrinks the pattern tables, at the price of a wider (n-bit) vector
+/// encoding and a slightly slower learning speed.
+///
+/// VMSP is also the predictor driving the speculative DSM (paper §7.4):
+/// [`Vmsp::predicted_readers`] answers "who will read next" for the FR
+/// and SWI triggers, [`Vmsp::speculate_readers`] keeps the open vector
+/// consistent when the directory forwards copies speculatively, and
+/// [`Vmsp::prune_reader`] applies the piggy-backed verification feedback.
+///
+/// # Example
+///
+/// ```
+/// use specdsm_core::{SharingPredictor, Vmsp};
+/// use specdsm_types::{BlockAddr, DirMsg, ProcId, ReaderSet};
+///
+/// let mut vmsp = Vmsp::new(1, 16);
+/// let b = BlockAddr(0x100);
+/// for i in 0..50 {
+///     // Readers arrive in a different order every iteration: VMSP
+///     // does not care.
+///     let (r1, r2) = if i % 2 == 0 { (1, 2) } else { (2, 1) };
+///     vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+///     vmsp.observe(b, DirMsg::read(ProcId(r1)));
+///     vmsp.observe(b, DirMsg::read(ProcId(r2)));
+/// }
+/// assert!(vmsp.stats().accuracy() > 0.9);
+///
+/// // After the upgrade, the predicted readers are {P1, P2}.
+/// vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+/// let (readers, _ticket) = vmsp.predicted_readers(b).unwrap();
+/// assert_eq!(readers, ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vmsp {
+    depth: usize,
+    num_procs: usize,
+    blocks: HashMap<BlockAddr, VBlock>,
+    stats: PredictorStats,
+}
+
+#[derive(Debug, Clone)]
+struct VBlock {
+    history: History,
+    table: PatternTable,
+    /// The read vector currently being accumulated (open read phase).
+    open: ReaderSet,
+    /// History keys whose SWI trigger proved premature (paper §4.2:
+    /// "a bit per write in the corresponding pattern table entry").
+    swi_premature: HashSet<HistoryKey>,
+}
+
+/// Handle identifying the pattern-table context in which a speculation
+/// was triggered, so verification feedback can find the entry later.
+///
+/// Returned by [`Vmsp::predicted_readers`] / [`Vmsp::swi_ticket`];
+/// consumed by [`Vmsp::prune_reader`] / [`Vmsp::mark_swi_premature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpecTicket {
+    key: HistoryKey,
+}
+
+impl Vmsp {
+    /// Creates a VMSP with the given history depth for a machine with
+    /// `num_procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(depth: usize, num_procs: usize) -> Self {
+        assert!(depth > 0, "history depth must be at least 1");
+        Vmsp {
+            depth,
+            num_procs,
+            blocks: HashMap::new(),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    fn block_mut(&mut self, block: BlockAddr) -> &mut VBlock {
+        let depth = self.depth;
+        self.blocks.entry(block).or_insert_with(|| VBlock {
+            history: History::new(depth),
+            table: PatternTable::new(),
+            open: ReaderSet::new(),
+            swi_premature: HashSet::new(),
+        })
+    }
+
+    /// The predicted read vector for the current history of `block`,
+    /// with a ticket for later verification pruning. `None` when the
+    /// history is cold or the predicted successor is not a read vector.
+    pub fn predicted_readers(&mut self, block: BlockAddr) -> Option<(ReaderSet, SpecTicket)> {
+        let b = self.blocks.get(&block)?;
+        if !b.history.is_full() {
+            return None;
+        }
+        match b.table.peek(b.history.window())?.prediction {
+            Symbol::ReadVec(v) => Some((
+                v,
+                SpecTicket {
+                    key: b.history.key(),
+                },
+            )),
+            _ => None,
+        }
+    }
+
+    /// Registers processors that were sent read-only copies
+    /// speculatively. They join the open read vector so the committed
+    /// pattern stays consistent with the directory's sharer state even
+    /// though their read requests never reach the directory.
+    pub fn speculate_readers(&mut self, block: BlockAddr, readers: ReaderSet) {
+        self.block_mut(block).open |= readers;
+    }
+
+    /// Verification failure: `reader` never referenced the copy sent
+    /// under `ticket`. Removes the reader from that entry's vector
+    /// prediction ("removes mispredicted request sequences", §4.2).
+    /// Returns `true` if an entry changed.
+    pub fn prune_reader(&mut self, block: BlockAddr, ticket: SpecTicket, reader: ProcId) -> bool {
+        match self.blocks.get_mut(&block) {
+            Some(b) => b.table.prune_reader(ticket.key, reader),
+            None => false,
+        }
+    }
+
+    /// Whether SWI may speculatively invalidate the writable copy of
+    /// `block` in its current history context (i.e. no previous
+    /// premature invalidation was recorded for this pattern).
+    #[must_use]
+    pub fn swi_allowed(&self, block: BlockAddr) -> bool {
+        match self.blocks.get(&block) {
+            Some(b) => !b.swi_premature.contains(&b.history.key()),
+            None => true,
+        }
+    }
+
+    /// Ticket capturing the current history context of `block`, taken
+    /// when SWI triggers so a later premature detection can suppress
+    /// exactly this pattern.
+    #[must_use]
+    pub fn swi_ticket(&self, block: BlockAddr) -> Option<SpecTicket> {
+        self.blocks.get(&block).map(|b| SpecTicket {
+            key: b.history.key(),
+        })
+    }
+
+    /// Records that the SWI invalidation taken under `ticket` was
+    /// premature (the producer re-accessed the block), suppressing
+    /// future SWI for this pattern.
+    pub fn mark_swi_premature(&mut self, block: BlockAddr, ticket: SpecTicket) {
+        let b = self.block_mut(block);
+        b.swi_premature.insert(ticket.key);
+        b.table.set_swi_premature(ticket.key);
+    }
+
+    /// Commits a symbol: last-occurrence learn + history shift.
+    fn commit(b: &mut VBlock, sym: Symbol) {
+        if b.history.is_full() {
+            b.table.learn(b.history.window(), sym);
+        }
+        b.history.push(sym);
+    }
+}
+
+impl SharingPredictor for Vmsp {
+    fn observe(&mut self, block: BlockAddr, msg: DirMsg) -> Observation {
+        let Some((kind, p)) = msg.request() else {
+            return Observation::Ignored;
+        };
+        let b = self.block_mut(block);
+        let obs = match kind {
+            ReqKind::Read => {
+                // Each read is checked against the vector predicted to
+                // follow the current history; order inside the vector is
+                // irrelevant by construction.
+                let obs = if b.history.is_full() {
+                    match b.table.predict(b.history.window()) {
+                        Some(Symbol::ReadVec(v)) => Observation::Predicted {
+                            correct: v.contains(p),
+                        },
+                        Some(_) => Observation::Predicted { correct: false },
+                        None => Observation::NoPrediction,
+                    }
+                } else {
+                    Observation::NoPrediction
+                };
+                b.open.insert(p);
+                obs
+            }
+            ReqKind::Write | ReqKind::Upgrade => {
+                // A write/upgrade closes any open read phase: the
+                // accumulated vector becomes one history symbol.
+                if !b.open.is_empty() {
+                    let vec = Symbol::ReadVec(b.open);
+                    Self::commit(b, vec);
+                    b.open = ReaderSet::new();
+                }
+                let sym = Symbol::Req(kind, p);
+                let obs = if b.history.is_full() {
+                    match b.table.predict(b.history.window()) {
+                        Some(pred) => Observation::Predicted {
+                            correct: pred == sym,
+                        },
+                        None => Observation::NoPrediction,
+                    }
+                } else {
+                    Observation::NoPrediction
+                };
+                Self::commit(b, sym);
+                obs
+            }
+        };
+        self.stats.record(obs);
+        obs
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+
+    fn storage(&self) -> StorageReport {
+        StorageReport {
+            model: StorageModel {
+                kind: PredictorKind::Vmsp,
+                depth: self.depth,
+                num_procs: self.num_procs,
+            },
+            blocks: self.blocks.len() as u64,
+            entries: self.blocks.values().map(|b| b.table.len() as u64).sum(),
+        }
+    }
+
+    fn kind(&self) -> PredictorKind {
+        PredictorKind::Vmsp
+    }
+
+    fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msp::Msp;
+
+    fn producer_consumer(vmsp: &mut Vmsp, b: BlockAddr, iters: usize, reorder: bool) {
+        for i in 0..iters {
+            let (r1, r2) = if reorder && i % 2 == 1 { (2, 1) } else { (1, 2) };
+            vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+            vmsp.observe(b, DirMsg::read(ProcId(r1)));
+            vmsp.observe(b, DirMsg::read(ProcId(r2)));
+        }
+    }
+
+    #[test]
+    fn immune_to_read_reordering() {
+        let b = BlockAddr(1);
+        let mut vmsp = Vmsp::new(1, 16);
+        producer_consumer(&mut vmsp, b, 100, true);
+        assert!(
+            vmsp.stats().accuracy() > 0.95,
+            "VMSP ignores read order: {}",
+            vmsp.stats()
+        );
+    }
+
+    #[test]
+    fn beats_msp_under_read_reordering_at_depth_one() {
+        let b = BlockAddr(1);
+        let mut vmsp = Vmsp::new(1, 16);
+        let mut msp = Msp::new(1, 16);
+        for i in 0..100 {
+            let (r1, r2) = if i % 2 == 1 { (2, 1) } else { (1, 2) };
+            for m in [
+                DirMsg::upgrade(ProcId(3)),
+                DirMsg::read(ProcId(r1)),
+                DirMsg::read(ProcId(r2)),
+            ] {
+                vmsp.observe(b, m);
+                msp.observe(b, m);
+            }
+        }
+        assert!(vmsp.stats().accuracy() > msp.stats().accuracy() + 0.3);
+    }
+
+    /// Figure 4: VMSP captures the 3-processor producer/consumer pattern
+    /// in two pattern entries where MSP needs three.
+    #[test]
+    fn two_entries_for_figure_4_pattern() {
+        let b = BlockAddr(0x100);
+        let mut vmsp = Vmsp::new(1, 16);
+        producer_consumer(&mut vmsp, b, 10, false);
+        // Close the last read phase so the final vector commits.
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        assert_eq!(vmsp.storage().entries, 2);
+    }
+
+    #[test]
+    fn acks_ignored() {
+        let mut vmsp = Vmsp::new(1, 16);
+        assert_eq!(
+            vmsp.observe(BlockAddr(1), DirMsg::ack_inv(ProcId(1))),
+            Observation::Ignored
+        );
+        assert_eq!(vmsp.stats().seen, 0);
+    }
+
+    #[test]
+    fn predicted_readers_after_write() {
+        let b = BlockAddr(1);
+        let mut vmsp = Vmsp::new(1, 16);
+        producer_consumer(&mut vmsp, b, 5, false);
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        let (readers, _) = vmsp.predicted_readers(b).expect("pattern learned");
+        assert_eq!(readers, ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+    }
+
+    #[test]
+    fn predicted_readers_cold_block_is_none() {
+        let mut vmsp = Vmsp::new(1, 16);
+        assert!(vmsp.predicted_readers(BlockAddr(7)).is_none());
+        // One write: history warm but no pattern yet.
+        vmsp.observe(BlockAddr(7), DirMsg::write(ProcId(0)));
+        assert!(vmsp.predicted_readers(BlockAddr(7)).is_none());
+    }
+
+    #[test]
+    fn prune_reader_removes_from_prediction() {
+        let b = BlockAddr(1);
+        let mut vmsp = Vmsp::new(1, 16);
+        producer_consumer(&mut vmsp, b, 5, false);
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        let (readers, ticket) = vmsp.predicted_readers(b).unwrap();
+        assert!(readers.contains(ProcId(2)));
+        assert!(vmsp.prune_reader(b, ticket, ProcId(2)));
+        let (readers, _) = vmsp.predicted_readers(b).unwrap();
+        assert_eq!(readers, ReaderSet::single(ProcId(1)));
+    }
+
+    #[test]
+    fn speculate_readers_fold_into_next_vector() {
+        let b = BlockAddr(1);
+        let mut vmsp = Vmsp::new(1, 16);
+        producer_consumer(&mut vmsp, b, 5, false);
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        // The directory forwards copies to P1 and P2 speculatively; their
+        // reads never arrive. The next write must still commit the full
+        // vector.
+        vmsp.speculate_readers(b, ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        let (readers, _) = vmsp.predicted_readers(b).unwrap();
+        assert_eq!(readers, ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+    }
+
+    #[test]
+    fn swi_premature_suppression() {
+        let b = BlockAddr(1);
+        let mut vmsp = Vmsp::new(1, 16);
+        producer_consumer(&mut vmsp, b, 5, false);
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        assert!(vmsp.swi_allowed(b));
+        let ticket = vmsp.swi_ticket(b).unwrap();
+        vmsp.mark_swi_premature(b, ticket);
+        assert!(!vmsp.swi_allowed(b), "same context now suppressed");
+        // A different history context is unaffected.
+        vmsp.observe(b, DirMsg::read(ProcId(1)));
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        // History is <Upgrade,P3> again -> suppressed again.
+        assert!(!vmsp.swi_allowed(b));
+    }
+
+    #[test]
+    fn swi_allowed_for_unknown_block() {
+        let vmsp = Vmsp::new(1, 16);
+        assert!(vmsp.swi_allowed(BlockAddr(99)));
+        assert!(vmsp.swi_ticket(BlockAddr(99)).is_none());
+    }
+
+    #[test]
+    fn learning_slower_than_msp_but_more_correct_total() {
+        // Table 3's observation: VMSP predicts slightly fewer messages
+        // (a whole vector must be seen once) but correctly predicts more
+        // when reads re-order.
+        let b = BlockAddr(1);
+        let mut vmsp = Vmsp::new(1, 16);
+        let mut msp = Msp::new(1, 16);
+        for i in 0..60 {
+            let order: [usize; 3] = match i % 3 {
+                0 => [1, 2, 4],
+                1 => [2, 4, 1],
+                _ => [4, 1, 2],
+            };
+            let mut msgs = vec![DirMsg::upgrade(ProcId(3))];
+            msgs.extend(order.iter().map(|&r| DirMsg::read(ProcId(r))));
+            for m in msgs {
+                vmsp.observe(b, m);
+                msp.observe(b, m);
+            }
+        }
+        let (v, m) = (vmsp.stats(), msp.stats());
+        assert!(
+            v.correct_fraction() > m.correct_fraction(),
+            "VMSP correct fraction {} vs MSP {}",
+            v.correct_fraction(),
+            m.correct_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "history depth")]
+    fn zero_depth_panics() {
+        let _ = Vmsp::new(0, 16);
+    }
+}

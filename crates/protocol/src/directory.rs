@@ -1,0 +1,256 @@
+//! The full-map directory.
+
+use std::collections::{HashMap, VecDeque};
+
+use specdsm_core::SpecTicket;
+use specdsm_types::{BlockAddr, NodeId, ProcId, ReaderSet, ReqKind};
+
+/// Stable sharing state of a block at its home directory (paper
+/// Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No remote copies.
+    Idle,
+    /// One or more read-only copies.
+    Shared(ReaderSet),
+    /// A single writable copy.
+    Exclusive(ProcId),
+}
+
+/// An in-flight transaction serializing access to one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Txn {
+    pub kind: TxnKind,
+    /// Invalidation acks still outstanding.
+    pub acks_left: u32,
+    /// A writeback is still outstanding.
+    pub awaiting_wb: bool,
+}
+
+/// What the in-flight transaction is serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxnKind {
+    /// A read that had to invalidate a writable copy.
+    Read(ProcId),
+    /// A write or upgrade collecting invalidation acks / writeback.
+    /// `in_place` means the requester keeps its cached copy and gets an
+    /// upgrade ack instead of data.
+    WriteLike {
+        requester: ProcId,
+        in_place: bool,
+    },
+    /// A speculative (SWI) invalidation of a writable copy.
+    Swi {
+        owner: ProcId,
+        ticket: Option<SpecTicket>,
+    },
+    /// The block is held while a (memory-delayed) reply or speculative
+    /// batch is still being handed to the NI. Later requests must not
+    /// start — their invalidations would overtake the in-flight data on
+    /// the same home→processor path.
+    Reply {
+        /// When the last outgoing message for this transaction leaves.
+        until: specdsm_sim::Cycle,
+    },
+}
+
+/// Per-block directory record.
+#[derive(Debug, Clone)]
+pub(crate) struct DirBlock {
+    pub state: DirState,
+    /// Version of the data currently in memory (updated by writebacks).
+    pub version: u64,
+    /// Next write-grant version (monotonic per block).
+    pub next_version: u64,
+    /// In-flight transaction, if any; requests queue behind it.
+    pub busy: Option<Txn>,
+    pub pending: VecDeque<(ReqKind, ProcId)>,
+    /// Set after a successful SWI invalidation: `(owner, ticket)`. If
+    /// the next request for the block comes from the owner, the
+    /// invalidation was premature.
+    pub swi_pending: Option<(ProcId, Option<SpecTicket>)>,
+}
+
+impl DirBlock {
+    fn new() -> Self {
+        DirBlock {
+            state: DirState::Idle,
+            version: 0,
+            next_version: 1,
+            busy: None,
+            pending: VecDeque::new(),
+            swi_pending: None,
+        }
+    }
+
+    /// Assigns the next write-grant version.
+    pub fn grant_version(&mut self) -> u64 {
+        let v = self.next_version;
+        self.next_version += 1;
+        v
+    }
+
+    /// Current sharers (empty unless `Shared`).
+    pub fn sharers(&self) -> ReaderSet {
+        match self.state {
+            DirState::Shared(r) => r,
+            _ => ReaderSet::new(),
+        }
+    }
+}
+
+/// The directory of one home node: sharing state for every block homed
+/// there.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    node: NodeId,
+    blocks: HashMap<BlockAddr, DirBlock>,
+}
+
+impl Directory {
+    /// Creates an empty directory for `node`.
+    #[must_use]
+    pub fn new(node: NodeId) -> Self {
+        Directory {
+            node,
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// The home node this directory belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sharing state of `block` (`Idle` if never touched).
+    #[must_use]
+    pub fn state(&self, block: BlockAddr) -> DirState {
+        self.blocks
+            .get(&block)
+            .map_or(DirState::Idle, |b| b.state)
+    }
+
+    /// Memory version of `block`.
+    #[must_use]
+    pub fn version(&self, block: BlockAddr) -> u64 {
+        self.blocks.get(&block).map_or(0, |b| b.version)
+    }
+
+    /// Whether a transaction is in flight for `block`.
+    #[must_use]
+    pub fn is_busy(&self, block: BlockAddr) -> bool {
+        self.blocks.get(&block).is_some_and(|b| b.busy.is_some())
+    }
+
+    /// Number of blocks with directory state.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the directory has no allocated blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates `(block, state, memory version)` for every allocated
+    /// block.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, DirState, u64)> + '_ {
+        self.blocks.iter().map(|(a, b)| (*a, b.state, b.version))
+    }
+
+    pub(crate) fn block_mut(&mut self, block: BlockAddr) -> &mut DirBlock {
+        self.blocks.entry(block).or_insert_with(DirBlock::new)
+    }
+
+    pub(crate) fn block(&self, block: BlockAddr) -> Option<&DirBlock> {
+        self.blocks.get(&block)
+    }
+
+    /// Asserts the directory's internal invariants (used by tests and
+    /// debug builds): a busy transaction implies consistent ack/wb
+    /// expectations, and `Exclusive` never coexists with sharers.
+    pub fn check_invariants(&self) {
+        for (addr, b) in &self.blocks {
+            if let Some(txn) = &b.busy {
+                assert!(
+                    txn.acks_left > 0
+                        || txn.awaiting_wb
+                        || matches!(txn.kind, TxnKind::Reply { .. }),
+                    "{addr}: busy transaction with nothing outstanding"
+                );
+            } else {
+                assert!(
+                    b.pending.is_empty(),
+                    "{addr}: queued requests but no transaction"
+                );
+            }
+            if let DirState::Shared(r) = b.state {
+                assert!(!r.is_empty(), "{addr}: Shared with empty sharer set");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_blocks_are_idle() {
+        let d = Directory::new(NodeId(0));
+        assert_eq!(d.state(BlockAddr(1)), DirState::Idle);
+        assert_eq!(d.version(BlockAddr(1)), 0);
+        assert!(!d.is_busy(BlockAddr(1)));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn grant_versions_are_monotonic() {
+        let mut d = Directory::new(NodeId(0));
+        let b = d.block_mut(BlockAddr(1));
+        let v1 = b.grant_version();
+        let v2 = b.grant_version();
+        assert!(v2 > v1);
+        assert_eq!(v1, 1, "versions start after the initial memory value 0");
+    }
+
+    #[test]
+    fn sharers_accessor() {
+        let mut d = Directory::new(NodeId(0));
+        let b = d.block_mut(BlockAddr(1));
+        assert!(b.sharers().is_empty());
+        b.state = DirState::Shared(ReaderSet::single(ProcId(2)));
+        assert!(b.sharers().contains(ProcId(2)));
+        b.state = DirState::Exclusive(ProcId(1));
+        assert!(b.sharers().is_empty());
+    }
+
+    #[test]
+    fn invariants_pass_on_consistent_state() {
+        let mut d = Directory::new(NodeId(0));
+        let b = d.block_mut(BlockAddr(1));
+        b.state = DirState::Shared(ReaderSet::single(ProcId(0)));
+        d.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sharer set")]
+    fn invariants_catch_empty_shared() {
+        let mut d = Directory::new(NodeId(0));
+        d.block_mut(BlockAddr(1)).state = DirState::Shared(ReaderSet::new());
+        d.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "no transaction")]
+    fn invariants_catch_orphan_pending() {
+        let mut d = Directory::new(NodeId(0));
+        d.block_mut(BlockAddr(1))
+            .pending
+            .push_back((ReqKind::Read, ProcId(0)));
+        d.check_invariants();
+    }
+}

@@ -1,0 +1,159 @@
+//! Protocol network messages.
+
+use std::fmt;
+
+use specdsm_types::{BlockAddr, NodeId, ProcId};
+
+/// A protocol message in flight between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Block the message concerns.
+    pub block: BlockAddr,
+    /// Payload.
+    pub kind: MsgKind,
+}
+
+/// Message payloads of the full-map write-invalidate protocol plus the
+/// speculative data message.
+///
+/// `version` fields carry the block's write version (assigned by the
+/// home directory at each write grant); caches store and return it so
+/// tests can verify coherence end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Request a read-only copy (processor → home).
+    ReadReq(ProcId),
+    /// Request a writable copy (processor → home).
+    WriteReq(ProcId),
+    /// Request write permission for a cached read-only copy
+    /// (processor → home).
+    UpgradeReq(ProcId),
+
+    /// Read-only data reply (home → processor).
+    DataShared {
+        /// Write version of the delivered data.
+        version: u64,
+    },
+    /// Writable data reply (home → processor).
+    DataExcl {
+        /// Version assigned to this write grant.
+        version: u64,
+    },
+    /// Write permission granted for an already-cached copy
+    /// (home → processor).
+    UpgradeAck {
+        /// Version assigned to this write grant.
+        version: u64,
+    },
+    /// Invalidate a read-only copy (home → processor).
+    Inval,
+    /// Invalidate a writable copy and return the data (home →
+    /// processor). `swi` marks a speculative (SWI-triggered)
+    /// invalidation, which is accounted separately but handled by the
+    /// unmodified base protocol.
+    InvWriteback {
+        /// Whether this invalidation was triggered speculatively by SWI.
+        swi: bool,
+    },
+    /// Speculatively forwarded read-only copy (home → processor). The
+    /// receiver installs it with the reference bit set, or drops it if
+    /// it has a demand request in flight for the block (the race rule,
+    /// paper §4.2).
+    SpecData {
+        /// Write version of the delivered data.
+        version: u64,
+    },
+
+    /// Acknowledge an [`MsgKind::Inval`] (processor → home).
+    /// `spec_unused` piggy-backs the reference bit: `true` means the
+    /// copy was placed speculatively and never referenced — a
+    /// misspeculation signal for the home predictor.
+    InvAck {
+        /// Acknowledging processor.
+        proc: ProcId,
+        /// Speculative copy was never referenced.
+        spec_unused: bool,
+    },
+    /// Writable copy's data returned after [`MsgKind::InvWriteback`]
+    /// (processor → home).
+    WritebackData {
+        /// Processor that held the writable copy.
+        proc: ProcId,
+        /// The version it held.
+        version: u64,
+        /// Echoes the `swi` flag of the triggering invalidation.
+        swi: bool,
+    },
+}
+
+impl MsgKind {
+    /// Whether this is one of the three request messages.
+    #[must_use]
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            MsgKind::ReadReq(_) | MsgKind::WriteReq(_) | MsgKind::UpgradeReq(_)
+        )
+    }
+
+    /// The requesting processor, for request messages.
+    #[must_use]
+    pub fn requester(&self) -> Option<ProcId> {
+        match *self {
+            MsgKind::ReadReq(p) | MsgKind::WriteReq(p) | MsgKind::UpgradeReq(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}→{} {} {:?}",
+            self.src, self.dst, self.block, self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_classification() {
+        assert!(MsgKind::ReadReq(ProcId(1)).is_request());
+        assert!(MsgKind::WriteReq(ProcId(1)).is_request());
+        assert!(MsgKind::UpgradeReq(ProcId(1)).is_request());
+        assert!(!MsgKind::Inval.is_request());
+        assert!(!MsgKind::DataShared { version: 0 }.is_request());
+    }
+
+    #[test]
+    fn requester_extraction() {
+        assert_eq!(MsgKind::ReadReq(ProcId(5)).requester(), Some(ProcId(5)));
+        assert_eq!(
+            MsgKind::InvAck {
+                proc: ProcId(1),
+                spec_unused: false
+            }
+            .requester(),
+            None
+        );
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let m = Msg {
+            src: NodeId(0),
+            dst: NodeId(1),
+            block: BlockAddr(2),
+            kind: MsgKind::Inval,
+        };
+        assert!(m.to_string().contains("N0"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Barrier and lock managers.
+//!
+//! Synchronization is implemented directly in the simulator rather than
+//! through shared memory; time spent waiting is charged to the
+//! "computation" component of the Figure 9 breakdown, exactly as the
+//! paper does ("computation time including barrier synchronization and
+//! spinning on locks").
+
+use std::collections::{HashMap, VecDeque};
+
+use specdsm_types::{LockId, ProcId};
+
+/// A single global sense-reversing barrier over `n` processors.
+///
+/// # Example
+///
+/// ```
+/// use specdsm_protocol::BarrierManager;
+/// use specdsm_types::ProcId;
+///
+/// let mut barrier = BarrierManager::new(2);
+/// assert_eq!(barrier.arrive(ProcId(0)), None);
+/// let released = barrier.arrive(ProcId(1)).unwrap();
+/// assert_eq!(released, vec![ProcId(0), ProcId(1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrierManager {
+    n: usize,
+    waiting: Vec<ProcId>,
+    episodes: u64,
+}
+
+impl BarrierManager {
+    /// Creates a barrier over `n` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one processor");
+        BarrierManager {
+            n,
+            waiting: Vec::with_capacity(n),
+            episodes: 0,
+        }
+    }
+
+    /// Processor `p` arrives. Returns all released processors (in
+    /// arrival order, `p` last) when `p` is the final arrival, `None`
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` arrives twice in one episode (workload bug).
+    pub fn arrive(&mut self, p: ProcId) -> Option<Vec<ProcId>> {
+        assert!(
+            !self.waiting.contains(&p),
+            "{p} arrived twice at the barrier"
+        );
+        self.waiting.push(p);
+        if self.waiting.len() == self.n {
+            self.episodes += 1;
+            Some(std::mem::take(&mut self.waiting))
+        } else {
+            None
+        }
+    }
+
+    /// Processors currently blocked.
+    #[must_use]
+    pub fn waiting(&self) -> &[ProcId] {
+        &self.waiting
+    }
+
+    /// Completed barrier episodes.
+    #[must_use]
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+}
+
+/// FIFO locks.
+///
+/// # Example
+///
+/// ```
+/// use specdsm_protocol::LockManager;
+/// use specdsm_types::{LockId, ProcId};
+///
+/// let mut locks = LockManager::new();
+/// assert!(locks.acquire(LockId(0), ProcId(0)));
+/// assert!(!locks.acquire(LockId(0), ProcId(1))); // queued
+/// assert_eq!(locks.release(LockId(0), ProcId(0)), Some(ProcId(1)));
+/// assert_eq!(locks.release(LockId(0), ProcId(1)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LockManager {
+    locks: HashMap<LockId, LockState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LockState {
+    holder: Option<ProcId>,
+    queue: VecDeque<ProcId>,
+}
+
+impl LockManager {
+    /// Creates a manager with no locks held.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire `lock` for `p`. Returns `true` on immediate
+    /// grant; otherwise `p` is queued FIFO.
+    pub fn acquire(&mut self, lock: LockId, p: ProcId) -> bool {
+        let state = self.locks.entry(lock).or_default();
+        match state.holder {
+            None => {
+                state.holder = Some(p);
+                true
+            }
+            Some(holder) => {
+                assert_ne!(holder, p, "{p} re-acquired {lock} it already holds");
+                state.queue.push_back(p);
+                false
+            }
+        }
+    }
+
+    /// Releases `lock`, which `p` must hold. Returns the next waiter,
+    /// which becomes the new holder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` does not hold `lock`.
+    pub fn release(&mut self, lock: LockId, p: ProcId) -> Option<ProcId> {
+        let state = self
+            .locks
+            .get_mut(&lock)
+            .unwrap_or_else(|| panic!("{p} released unknown lock {lock}"));
+        assert_eq!(state.holder, Some(p), "{p} released {lock} it does not hold");
+        state.holder = state.queue.pop_front();
+        state.holder
+    }
+
+    /// Current holder of `lock`.
+    #[must_use]
+    pub fn holder(&self, lock: LockId) -> Option<ProcId> {
+        self.locks.get(&lock).and_then(|s| s.holder)
+    }
+
+    /// Number of processors queued on `lock`.
+    #[must_use]
+    pub fn queue_len(&self, lock: LockId) -> usize {
+        self.locks.get(&lock).map_or(0, |s| s.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_releases_in_arrival_order() {
+        let mut b = BarrierManager::new(3);
+        assert!(b.arrive(ProcId(2)).is_none());
+        assert!(b.arrive(ProcId(0)).is_none());
+        assert_eq!(b.waiting(), &[ProcId(2), ProcId(0)]);
+        let released = b.arrive(ProcId(1)).unwrap();
+        assert_eq!(released, vec![ProcId(2), ProcId(0), ProcId(1)]);
+        assert_eq!(b.episodes(), 1);
+        assert!(b.waiting().is_empty(), "barrier resets");
+    }
+
+    #[test]
+    fn barrier_reusable_across_episodes() {
+        let mut b = BarrierManager::new(2);
+        for _ in 0..5 {
+            assert!(b.arrive(ProcId(0)).is_none());
+            assert!(b.arrive(ProcId(1)).is_some());
+        }
+        assert_eq!(b.episodes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn double_arrival_panics() {
+        let mut b = BarrierManager::new(3);
+        b.arrive(ProcId(0));
+        b.arrive(ProcId(0));
+    }
+
+    #[test]
+    fn single_proc_barrier_releases_immediately() {
+        let mut b = BarrierManager::new(1);
+        assert_eq!(b.arrive(ProcId(0)), Some(vec![ProcId(0)]));
+    }
+
+    #[test]
+    fn locks_grant_fifo() {
+        let mut l = LockManager::new();
+        assert!(l.acquire(LockId(1), ProcId(0)));
+        assert!(!l.acquire(LockId(1), ProcId(1)));
+        assert!(!l.acquire(LockId(1), ProcId(2)));
+        assert_eq!(l.queue_len(LockId(1)), 2);
+        assert_eq!(l.release(LockId(1), ProcId(0)), Some(ProcId(1)));
+        assert_eq!(l.holder(LockId(1)), Some(ProcId(1)));
+        assert_eq!(l.release(LockId(1), ProcId(1)), Some(ProcId(2)));
+        assert_eq!(l.release(LockId(1), ProcId(2)), None);
+        assert_eq!(l.holder(LockId(1)), None);
+    }
+
+    #[test]
+    fn independent_locks() {
+        let mut l = LockManager::new();
+        assert!(l.acquire(LockId(1), ProcId(0)));
+        assert!(l.acquire(LockId(2), ProcId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn release_without_hold_panics() {
+        let mut l = LockManager::new();
+        l.acquire(LockId(1), ProcId(0));
+        l.release(LockId(1), ProcId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "re-acquired")]
+    fn reacquire_held_lock_panics() {
+        let mut l = LockManager::new();
+        l.acquire(LockId(1), ProcId(0));
+        l.acquire(LockId(1), ProcId(0));
+    }
+}

@@ -1,0 +1,1317 @@
+//! The whole-machine simulator: event loop and protocol logic.
+
+use std::error::Error;
+use std::fmt;
+
+use specdsm_core::{DirectoryTrace, SharingPredictor, SpecTicket};
+use specdsm_sim::{Cycle, EventQueue, FifoResource};
+use specdsm_types::{
+    BlockAddr, ConfigError, DirMsg, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind, Workload,
+};
+
+use crate::directory::{DirState, Directory, Txn, TxnKind};
+use crate::msg::{Msg, MsgKind};
+use crate::network::Network;
+use crate::processor::{Blocked, ProcAction, Processor};
+use crate::spec::{SpecEngine, SpecPolicy, Trigger};
+use crate::stats::RunStats;
+use crate::sync::{BarrierManager, LockManager};
+
+/// Configuration of one simulated system run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The machine (node count, latencies, home mapping).
+    pub machine: MachineConfig,
+    /// Speculation policy (Base / FR / SWI+FR).
+    pub policy: SpecPolicy,
+    /// History depth of the online VMSP (the paper uses 1).
+    pub predictor_depth: usize,
+    /// Record the per-block directory message trace (for offline
+    /// predictor evaluation).
+    pub record_trace: bool,
+    /// Per-processor cache capacity in blocks. `None` (the paper's
+    /// configuration) means unbounded — no capacity or conflict
+    /// traffic. `Some(n)` enables finite-cache mode: read-only lines
+    /// evict LRU and capacity misses reappear (the "inflated traffic"
+    /// the paper's methodology deliberately excludes).
+    pub cache_blocks: Option<usize>,
+    /// Optional safety limit; the run panics if simulated time exceeds
+    /// it (guards against workload deadlocks in development).
+    pub max_cycles: Option<u64>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            machine: MachineConfig::paper_machine(),
+            policy: SpecPolicy::Base,
+            predictor_depth: 1,
+            record_trace: false,
+            cache_blocks: None,
+            max_cycles: None,
+        }
+    }
+}
+
+/// Error constructing a [`System`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The machine configuration is invalid.
+    Config(ConfigError),
+    /// The workload's processor count does not match the machine.
+    ProcCountMismatch {
+        /// Processors the workload is written for.
+        workload: usize,
+        /// Nodes in the machine.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Config(e) => write!(f, "invalid machine config: {e}"),
+            BuildError::ProcCountMismatch { workload, machine } => write!(
+                f,
+                "workload uses {workload} processors but the machine has {machine} nodes"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A processor continues execution.
+    Resume(ProcId),
+    /// A message is delivered at its destination.
+    Deliver(Msg),
+    /// A directory block's reply-hold expires (the outgoing data has
+    /// been handed to the NI; queued requests may proceed).
+    DirRelease(NodeId, BlockAddr),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Grant {
+    Shared,
+    Exclusive,
+    Upgrade,
+}
+
+/// A complete simulated DSM: processors, caches, directories, network,
+/// synchronization, and (optionally) the speculation engine.
+///
+/// Build one with [`System::new`] and consume it with [`System::run`].
+pub struct System {
+    cfg: SystemConfig,
+    procs: Vec<Processor>,
+    dirs: Vec<Directory>,
+    mems: Vec<FifoResource>,
+    net: Network,
+    queue: EventQueue<Event>,
+    barrier: BarrierManager,
+    locks: LockManager,
+    spec: SpecEngine,
+    trace: Option<DirectoryTrace>,
+    workload_name: String,
+    done_count: usize,
+    last_cycle: Cycle,
+    dir_reads: u64,
+    dir_writes: u64,
+    dir_upgrades: u64,
+}
+
+impl System {
+    /// Builds a system running `workload` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the machine configuration is invalid or
+    /// the workload's processor count does not match the node count.
+    pub fn new(cfg: SystemConfig, workload: &dyn Workload) -> Result<Self, BuildError> {
+        cfg.machine.validate()?;
+        let n = cfg.machine.num_nodes;
+        if workload.num_procs() != n {
+            return Err(BuildError::ProcCountMismatch {
+                workload: workload.num_procs(),
+                machine: n,
+            });
+        }
+        let streams = workload.build_streams();
+        assert_eq!(
+            streams.len(),
+            n,
+            "workload returned {} streams for {} processors",
+            streams.len(),
+            n
+        );
+        let procs: Vec<Processor> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut proc = Processor::new(ProcId(i), s, cfg.machine.latency.cache_hit);
+                if let Some(blocks) = cfg.cache_blocks {
+                    proc.cache = crate::Cache::with_capacity(blocks);
+                }
+                proc
+            })
+            .collect();
+        Ok(System {
+            procs,
+            dirs: NodeId::all(n).map(Directory::new).collect(),
+            mems: (0..n).map(|_| FifoResource::new()).collect(),
+            net: Network::new(n, cfg.machine.latency),
+            queue: EventQueue::new(),
+            barrier: BarrierManager::new(n),
+            locks: LockManager::new(),
+            spec: SpecEngine::new(cfg.policy, cfg.predictor_depth, n, n),
+            trace: cfg.record_trace.then(DirectoryTrace::new),
+            workload_name: workload.name().to_string(),
+            done_count: 0,
+            last_cycle: Cycle::ZERO,
+            dir_reads: 0,
+            dir_writes: 0,
+            dir_upgrades: 0,
+            cfg,
+        })
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload deadlocks (the event queue drains while
+    /// processors are still blocked — e.g. mismatched barrier or lock
+    /// usage) or if `max_cycles` is exceeded.
+    pub fn run(mut self) -> RunStats {
+        for p in 0..self.procs.len() {
+            self.queue.schedule(Cycle::ZERO, Event::Resume(ProcId(p)));
+        }
+        while let Some((now, event)) = self.queue.pop() {
+            if let Some(limit) = self.cfg.max_cycles {
+                assert!(
+                    now.raw() <= limit,
+                    "simulation exceeded max_cycles = {limit}"
+                );
+            }
+            self.last_cycle = now;
+            match event {
+                Event::Resume(p) => self.step_proc(now, p),
+                Event::Deliver(msg) => self.deliver(now, msg),
+                Event::DirRelease(home, block) => self.dir_release(now, home, block),
+            }
+        }
+        self.check_quiescent();
+        self.check_coherence();
+        self.into_stats()
+    }
+
+    /// Asserts the end-of-run coherence invariants: no in-flight
+    /// transactions, directory state consistent with every cache
+    /// (sharers hold read-only copies of the memory version, exclusive
+    /// owners hold the writable copy, nobody else holds anything).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation — these are protocol bugs, not workload
+    /// errors.
+    fn check_coherence(&self) {
+        for dir in &self.dirs {
+            dir.check_invariants();
+            for (block, state, version) in dir.iter() {
+                assert!(
+                    !dir.is_busy(block),
+                    "{block}: transaction still in flight at quiescence"
+                );
+                match state {
+                    DirState::Idle => {
+                        for proc in &self.procs {
+                            assert_eq!(
+                                proc.cache().state(block),
+                                None,
+                                "{block} is Idle but {} holds a copy",
+                                proc.id()
+                            );
+                        }
+                    }
+                    DirState::Shared(readers) => {
+                        for proc in &self.procs {
+                            let cached = proc.cache().state(block);
+                            if readers.contains(proc.id()) {
+                                // In finite-cache mode a listed sharer
+                                // may have silently evicted its copy;
+                                // the directory is allowed to be stale.
+                                if self.cfg.cache_blocks.is_none() || cached.is_some() {
+                                    assert!(
+                                        matches!(cached, Some(crate::LineState::Shared { .. })),
+                                        "{block}: sharer {} holds {cached:?}",
+                                        proc.id()
+                                    );
+                                    assert_eq!(
+                                        proc.cache().version(block),
+                                        Some(version),
+                                        "{block}: stale copy at {}",
+                                        proc.id()
+                                    );
+                                }
+                            } else {
+                                assert_eq!(
+                                    cached,
+                                    None,
+                                    "{block}: non-sharer {} holds a copy",
+                                    proc.id()
+                                );
+                            }
+                        }
+                    }
+                    DirState::Exclusive(owner) => {
+                        for proc in &self.procs {
+                            let cached = proc.cache().state(block);
+                            if proc.id() == owner {
+                                assert_eq!(
+                                    cached,
+                                    Some(crate::LineState::Exclusive),
+                                    "{block}: owner {} lost its copy",
+                                    owner
+                                );
+                            } else {
+                                assert_eq!(
+                                    cached,
+                                    None,
+                                    "{block}: {} holds a copy besides the owner",
+                                    proc.id()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_quiescent(&self) {
+        if self.done_count == self.procs.len() {
+            return;
+        }
+        let stuck: Vec<String> = self
+            .procs
+            .iter()
+            .filter(|p| p.blocked != Blocked::Done)
+            .map(|p| format!("{}: {:?}", p.id(), p.blocked))
+            .collect();
+        panic!(
+            "deadlock at {}: {} of {} processors never finished: {}",
+            self.last_cycle,
+            stuck.len(),
+            self.procs.len(),
+            stuck.join("; ")
+        );
+    }
+
+    fn into_stats(self) -> RunStats {
+        let exec_cycles = self
+            .procs
+            .iter()
+            .map(|p| p.stats.finished_at)
+            .max()
+            .unwrap_or(0);
+        RunStats {
+            workload: self.workload_name,
+            policy: self.cfg.policy,
+            exec_cycles,
+            per_proc: self.procs.iter().map(|p| p.stats).collect(),
+            remote_messages: self.net.messages_sent(),
+            ni_wait_cycles: self.net.ni_wait_cycles(),
+            mem_wait_cycles: self.mems.iter().map(FifoResource::wait_cycles).sum(),
+            mem_busy_cycles: self.mems.iter().map(FifoResource::busy_cycles).sum(),
+            dir_reads: self.dir_reads,
+            dir_writes: self.dir_writes,
+            dir_upgrades: self.dir_upgrades,
+            spec: self.spec.stats,
+            predictor: self
+                .cfg
+                .policy
+                .uses_predictor()
+                .then(|| self.spec.vmsp.stats()),
+            trace: self.trace,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processor side
+    // ------------------------------------------------------------------
+
+    fn step_proc(&mut self, now: Cycle, p: ProcId) {
+        match self.procs[p.0].next_action() {
+            ProcAction::Busy(n) => self.queue.schedule(now + n, Event::Resume(p)),
+            ProcAction::ReadMiss(b) => self.issue(now, p, b, ReqKind::Read),
+            ProcAction::WriteMiss(b) => self.issue(now, p, b, ReqKind::Write),
+            ProcAction::UpgradeMiss(b) => self.issue(now, p, b, ReqKind::Upgrade),
+            ProcAction::Barrier => match self.barrier.arrive(p) {
+                Some(released) => {
+                    for w in released {
+                        if let Blocked::Barrier(since) = self.procs[w.0].blocked {
+                            self.procs[w.0].stats.sync_wait += now.since(since);
+                        }
+                        self.procs[w.0].blocked = Blocked::No;
+                        self.queue.schedule(now + 1, Event::Resume(w));
+                    }
+                }
+                None => self.procs[p.0].blocked = Blocked::Barrier(now),
+            },
+            ProcAction::Lock(l) => {
+                if self.locks.acquire(l, p) {
+                    self.queue.schedule(now + 1, Event::Resume(p));
+                } else {
+                    self.procs[p.0].blocked = Blocked::Lock(now);
+                }
+            }
+            ProcAction::Unlock(l) => {
+                if let Some(next) = self.locks.release(l, p) {
+                    if let Blocked::Lock(since) = self.procs[next.0].blocked {
+                        self.procs[next.0].stats.sync_wait += now.since(since);
+                    }
+                    self.procs[next.0].blocked = Blocked::No;
+                    self.queue.schedule(now + 1, Event::Resume(next));
+                }
+                self.queue.schedule(now + 1, Event::Resume(p));
+            }
+            ProcAction::Done => {
+                self.procs[p.0].blocked = Blocked::Done;
+                self.procs[p.0].stats.finished_at = now.raw();
+                self.done_count += 1;
+            }
+        }
+    }
+
+    fn issue(&mut self, now: Cycle, p: ProcId, block: BlockAddr, kind: ReqKind) {
+        self.procs[p.0].blocked = Blocked::Mem {
+            block,
+            since: now,
+            write: kind.is_write_like(),
+        };
+        let home = self.cfg.machine.home_of(block);
+        let msg = match kind {
+            ReqKind::Read => MsgKind::ReadReq(p),
+            ReqKind::Write => MsgKind::WriteReq(p),
+            ReqKind::Upgrade => MsgKind::UpgradeReq(p),
+        };
+        self.send(now, p.node(), home, block, msg);
+    }
+
+    /// Completes the outstanding memory request of `node`'s processor.
+    fn proc_grant(&mut self, now: Cycle, node: NodeId, block: BlockAddr, version: u64, g: Grant) {
+        let p = node.proc();
+        let proc = &mut self.procs[p.0];
+        match g {
+            Grant::Shared => proc.cache.fill_shared(block, version),
+            Grant::Exclusive => proc.cache.fill_exclusive(block, version),
+            Grant::Upgrade => {
+                // The directory only grants in-place upgrades while the
+                // requester is a sharer, and home→proc messages are
+                // FIFO, so the copy is normally still present. The one
+                // exception is finite-cache mode, where a concurrent
+                // speculative fill may have evicted the line while the
+                // upgrade was in flight.
+                if proc.cache.has_shared(block) {
+                    proc.cache.upgrade(block, version);
+                } else {
+                    proc.cache.fill_exclusive(block, version);
+                }
+            }
+        }
+        match proc.blocked {
+            Blocked::Mem { block: b, since, .. } if b == block => {
+                proc.stats.mem_wait += now.since(since);
+                proc.blocked = Blocked::No;
+                self.queue.schedule(now, Event::Resume(p));
+            }
+            ref other => panic!("{p} got {g:?} grant for {block} while {other:?}"),
+        }
+    }
+
+    fn proc_inval(&mut self, now: Cycle, node: NodeId, block: BlockAddr, home: NodeId) {
+        let p = node.proc();
+        let spec_unused = self.procs[p.0].cache.invalidate(block);
+        // The controller answers after a small deterministic delay
+        // (contention with its processor for the cache): overlapped
+        // invalidation acks therefore arrive in varying order, the
+        // paper's §3 perturbation source for general message predictors.
+        let delay = ack_delay(now, p, self.cfg.machine.latency.ack_jitter);
+        self.send(
+            now + delay,
+            node,
+            home,
+            block,
+            MsgKind::InvAck {
+                proc: p,
+                spec_unused,
+            },
+        );
+    }
+
+    fn proc_inv_writeback(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        block: BlockAddr,
+        home: NodeId,
+        swi: bool,
+    ) {
+        let p = node.proc();
+        let version = self.procs[p.0]
+            .cache
+            .invalidate_exclusive(block)
+            .unwrap_or_else(|| panic!("{p} got InvWriteback for {block} without a writable copy"));
+        self.send(
+            now,
+            node,
+            home,
+            block,
+            MsgKind::WritebackData {
+                proc: p,
+                version,
+                swi,
+            },
+        );
+    }
+
+    fn proc_spec_data(&mut self, now: Cycle, node: NodeId, block: BlockAddr, version: u64) {
+        let _ = now;
+        let p = node.proc();
+        let proc = &mut self.procs[p.0];
+        // Race rule (§4.2): with a demand request in flight for this
+        // block, drop the speculative copy and await the protocol reply.
+        let racing = matches!(proc.blocked, Blocked::Mem { block: b, .. } if b == block);
+        if racing || !proc.cache.fill_speculative(block, version) {
+            self.spec.stats.dropped += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing
+    // ------------------------------------------------------------------
+
+    fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, block: BlockAddr, kind: MsgKind) {
+        let at = self.net.send(now, src, dst);
+        self.queue
+            .schedule(at, Event::Deliver(Msg { src, dst, block, kind }));
+    }
+
+    fn deliver(&mut self, now: Cycle, msg: Msg) {
+        let Msg {
+            src,
+            dst,
+            block,
+            kind,
+        } = msg;
+        match kind {
+            MsgKind::ReadReq(p) => self.dir_request(now, dst, block, ReqKind::Read, p),
+            MsgKind::WriteReq(p) => self.dir_request(now, dst, block, ReqKind::Write, p),
+            MsgKind::UpgradeReq(p) => self.dir_request(now, dst, block, ReqKind::Upgrade, p),
+            MsgKind::InvAck { proc, spec_unused } => {
+                self.dir_inv_ack(now, dst, block, proc, spec_unused)
+            }
+            MsgKind::WritebackData { proc, version, .. } => {
+                self.dir_writeback(now, dst, block, proc, version)
+            }
+            MsgKind::DataShared { version } => {
+                self.proc_grant(now, dst, block, version, Grant::Shared)
+            }
+            MsgKind::DataExcl { version } => {
+                self.proc_grant(now, dst, block, version, Grant::Exclusive)
+            }
+            MsgKind::UpgradeAck { version } => {
+                self.proc_grant(now, dst, block, version, Grant::Upgrade)
+            }
+            MsgKind::Inval => self.proc_inval(now, dst, block, src),
+            MsgKind::InvWriteback { swi } => self.proc_inv_writeback(now, dst, block, src, swi),
+            MsgKind::SpecData { version } => self.proc_spec_data(now, dst, block, version),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Directory side
+    // ------------------------------------------------------------------
+
+    fn dir_request(&mut self, now: Cycle, home: NodeId, block: BlockAddr, kind: ReqKind, p: ProcId) {
+        match kind {
+            ReqKind::Read => self.dir_reads += 1,
+            ReqKind::Write => self.dir_writes += 1,
+            ReqKind::Upgrade => self.dir_upgrades += 1,
+        }
+        let dmsg = DirMsg::Request(kind, p);
+        if let Some(trace) = &mut self.trace {
+            trace.record(block, dmsg);
+        }
+        if self.spec.policy.uses_predictor() {
+            self.spec.vmsp.observe(block, dmsg);
+        }
+        // SWI trigger: a write-like request signals that this
+        // processor's previous written block (at this home) is done.
+        if self.spec.policy.swi_enabled() && kind.is_write_like() {
+            if let Some(prev) = self.spec.swi_tables[home.0].note_write(p, block) {
+                self.try_swi(now, home, prev, p);
+            }
+        }
+        let blk = self.dirs[home.0].block_mut(block);
+        if blk.busy.is_some() {
+            blk.pending.push_back((kind, p));
+            return;
+        }
+        self.dir_process(now, home, block, kind, p);
+    }
+
+    fn dir_process(&mut self, now: Cycle, home: NodeId, block: BlockAddr, kind: ReqKind, p: ProcId) {
+        // SWI premature detection. A pending SWI resolves as *success*
+        // once any consumption is observed — a demand read from a
+        // non-owner, or (for speculatively pushed copies, whose reads
+        // never reach the directory) a piggy-backed reference bit on a
+        // later invalidation ack. It resolves as *premature* when the
+        // producer itself is the next to touch the block. For
+        // write-like requests from the owner the verdict is deferred to
+        // the write grant, after the invalidation acks have reported
+        // whether any pushed copy was referenced.
+        let pending = self.dirs[home.0].block(block).and_then(|b| b.swi_pending);
+        if let Some((owner, ticket)) = pending {
+            match kind {
+                ReqKind::Read if p == owner => {
+                    self.resolve_swi_premature(home, block, ticket);
+                }
+                ReqKind::Read => {
+                    // A consumer demanded the block: success.
+                    self.dirs[home.0].block_mut(block).swi_pending = None;
+                }
+                ReqKind::Write | ReqKind::Upgrade => {
+                    // Deferred: grant_exclusive decides.
+                }
+            }
+        }
+        match kind {
+            ReqKind::Read => self.process_read(now, home, block, p),
+            ReqKind::Write | ReqKind::Upgrade => {
+                self.process_write_like(now, home, block, kind, p)
+            }
+        }
+    }
+
+    fn resolve_swi_premature(
+        &mut self,
+        home: NodeId,
+        block: BlockAddr,
+        ticket: Option<SpecTicket>,
+    ) {
+        self.dirs[home.0].block_mut(block).swi_pending = None;
+        self.spec.stats.swi_inval_premature += 1;
+        if let Some(t) = ticket {
+            self.spec.vmsp.mark_swi_premature(block, t);
+        }
+    }
+
+    fn process_read(&mut self, now: Cycle, home: NodeId, block: BlockAddr, p: ProcId) {
+        let state = self.dirs[home.0].block_mut(block).state;
+        match state {
+            DirState::Idle | DirState::Shared(_) => {
+                let t = self.mem_access(now, home);
+                let version = {
+                    let blk = self.dirs[home.0].block_mut(block);
+                    let mut readers = blk.sharers();
+                    readers.insert(p);
+                    blk.state = DirState::Shared(readers);
+                    blk.version
+                };
+                self.send(t, home, p.node(), block, MsgKind::DataShared { version });
+                let spec_t = self.fr_speculate(t, home, block);
+                self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
+            }
+            DirState::Exclusive(owner) if owner != p => {
+                self.send(now, home, owner.node(), block, MsgKind::InvWriteback { swi: false });
+                self.dirs[home.0].block_mut(block).busy = Some(Txn {
+                    kind: TxnKind::Read(p),
+                    acks_left: 0,
+                    awaiting_wb: true,
+                });
+            }
+            DirState::Exclusive(_) => {
+                unreachable!("{p} read {block} it exclusively owns at the directory")
+            }
+        }
+    }
+
+    fn process_write_like(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        kind: ReqKind,
+        p: ProcId,
+    ) {
+        let state = self.dirs[home.0].block_mut(block).state;
+        match state {
+            DirState::Idle => {
+                let sent = self.grant_exclusive(now, home, block, p, false);
+                self.lock_reply(now, home, block, sent);
+            }
+            DirState::Shared(readers) => {
+                let others = readers - ReaderSet::single(p);
+                let in_place = kind == ReqKind::Upgrade && readers.contains(p);
+                if others.is_empty() {
+                    let sent = self.grant_exclusive(now, home, block, p, in_place);
+                    self.lock_reply(now, home, block, sent);
+                } else {
+                    for r in others.iter() {
+                        self.send(now, home, r.node(), block, MsgKind::Inval);
+                    }
+                    self.dirs[home.0].block_mut(block).busy = Some(Txn {
+                        kind: TxnKind::WriteLike {
+                            requester: p,
+                            in_place,
+                        },
+                        acks_left: others.len() as u32,
+                        awaiting_wb: false,
+                    });
+                }
+            }
+            DirState::Exclusive(owner) if owner != p => {
+                self.send(now, home, owner.node(), block, MsgKind::InvWriteback { swi: false });
+                self.dirs[home.0].block_mut(block).busy = Some(Txn {
+                    kind: TxnKind::WriteLike {
+                        requester: p,
+                        in_place: false,
+                    },
+                    acks_left: 0,
+                    awaiting_wb: true,
+                });
+            }
+            DirState::Exclusive(_) => {
+                unreachable!("{p} wrote {block} it already exclusively owns at the directory")
+            }
+        }
+    }
+
+    /// Grants write permission: state → `Exclusive`, new version, reply.
+    /// Returns the time the reply is handed to the NI.
+    fn grant_exclusive(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        p: ProcId,
+        in_place: bool,
+    ) -> Cycle {
+        // Deferred SWI verdict: if an SWI invalidation is still pending
+        // at write-grant time, no consumption was ever observed — the
+        // grant to the original owner means it was premature; a grant
+        // to anyone else means production simply moved on.
+        if let Some((owner, ticket)) = self.dirs[home.0].block(block).and_then(|b| b.swi_pending) {
+            if p == owner {
+                self.resolve_swi_premature(home, block, ticket);
+            } else {
+                self.dirs[home.0].block_mut(block).swi_pending = None;
+            }
+        }
+        let version = {
+            let blk = self.dirs[home.0].block_mut(block);
+            blk.state = DirState::Exclusive(p);
+            blk.grant_version()
+        };
+        if in_place {
+            // Permission only; no data, no memory access.
+            self.send(now, home, p.node(), block, MsgKind::UpgradeAck { version });
+            now
+        } else {
+            let t = self.mem_access(now, home);
+            self.send(t, home, p.node(), block, MsgKind::DataExcl { version });
+            t
+        }
+    }
+
+    /// Holds `block` busy until `until`, when its in-flight reply (or
+    /// speculative batch) has left the directory. Prevents a later
+    /// request's invalidations from overtaking the data on the same
+    /// home→processor path.
+    fn lock_reply(&mut self, now: Cycle, home: NodeId, block: BlockAddr, until: Cycle) {
+        if until <= now {
+            return;
+        }
+        let blk = self.dirs[home.0].block_mut(block);
+        match &mut blk.busy {
+            None => {
+                blk.busy = Some(Txn {
+                    kind: TxnKind::Reply { until },
+                    acks_left: 0,
+                    awaiting_wb: false,
+                });
+            }
+            Some(Txn {
+                kind: TxnKind::Reply { until: u },
+                ..
+            }) => *u = (*u).max(until),
+            Some(other) => unreachable!("reply lock over active transaction {other:?}"),
+        }
+        self.queue.schedule(until, Event::DirRelease(home, block));
+    }
+
+    /// A reply-hold expires: release the block if this was its final
+    /// deadline and serve queued requests.
+    fn dir_release(&mut self, now: Cycle, home: NodeId, block: BlockAddr) {
+        let blk = self.dirs[home.0].block_mut(block);
+        if let Some(Txn {
+            kind: TxnKind::Reply { until },
+            ..
+        }) = blk.busy
+        {
+            if now >= until {
+                blk.busy = None;
+                self.drain_pending(now, home, block);
+            }
+        }
+    }
+
+    fn dir_inv_ack(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        proc: ProcId,
+        spec_unused: bool,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(block, DirMsg::ack_inv(proc));
+        }
+        // Speculation verification via the piggy-backed reference bit.
+        self.spec.note_invalidated(block, proc, spec_unused);
+        // A referenced copy is consumption evidence for a pending SWI.
+        if !spec_unused {
+            self.dirs[home.0].block_mut(block).swi_pending = None;
+        }
+        let blk = self.dirs[home.0].block_mut(block);
+        let txn = blk
+            .busy
+            .as_mut()
+            .unwrap_or_else(|| panic!("stray InvAck for {block} from {proc}"));
+        assert!(txn.acks_left > 0, "unexpected InvAck for {block}");
+        txn.acks_left -= 1;
+        if txn.acks_left == 0 && !txn.awaiting_wb {
+            self.complete_txn(now, home, block);
+        }
+    }
+
+    fn dir_writeback(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        proc: ProcId,
+        version: u64,
+    ) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(block, DirMsg::writeback(proc));
+        }
+        let blk = self.dirs[home.0].block_mut(block);
+        blk.version = version;
+        let txn = blk
+            .busy
+            .as_mut()
+            .unwrap_or_else(|| panic!("stray writeback for {block} from {proc}"));
+        assert!(txn.awaiting_wb, "unexpected writeback for {block}");
+        txn.awaiting_wb = false;
+        if txn.acks_left == 0 {
+            self.complete_txn(now, home, block);
+        }
+    }
+
+    fn complete_txn(&mut self, now: Cycle, home: NodeId, block: BlockAddr) {
+        let txn = self.dirs[home.0]
+            .block_mut(block)
+            .busy
+            .take()
+            .expect("complete_txn without a transaction");
+        match txn.kind {
+            TxnKind::Read(requester) => {
+                // Memory absorbs the writeback and sources the reply.
+                let t = self.mem_access(now, home);
+                let version = {
+                    let blk = self.dirs[home.0].block_mut(block);
+                    blk.state = DirState::Shared(ReaderSet::single(requester));
+                    blk.version
+                };
+                self.send(t, home, requester.node(), block, MsgKind::DataShared { version });
+                let spec_t = self.fr_speculate(t, home, block);
+                self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
+            }
+            TxnKind::WriteLike {
+                requester,
+                in_place,
+            } => {
+                let sent = self.grant_exclusive(now, home, block, requester, in_place);
+                self.lock_reply(now, home, block, sent);
+            }
+            TxnKind::Swi { owner, ticket } => {
+                // Successful speculative invalidation: memory is clean.
+                let t = self.mem_access(now, home);
+                {
+                    let blk = self.dirs[home.0].block_mut(block);
+                    blk.state = DirState::Idle;
+                    blk.swi_pending = Some((owner, ticket));
+                }
+                let spec_t = self.swi_read_speculate(t, home, block);
+                self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
+            }
+            TxnKind::Reply { .. } => unreachable!("reply holds complete via DirRelease"),
+        }
+        self.drain_pending(now, home, block);
+    }
+
+    fn drain_pending(&mut self, now: Cycle, home: NodeId, block: BlockAddr) {
+        loop {
+            let blk = self.dirs[home.0].block_mut(block);
+            if blk.busy.is_some() {
+                return;
+            }
+            let Some((kind, p)) = blk.pending.pop_front() else {
+                return;
+            };
+            self.dir_process(now, home, block, kind, p);
+        }
+    }
+
+    /// One memory access at `home`: occupies the (split-transaction)
+    /// memory bus for `mem_occupancy` cycles and returns the data
+    /// `mem_access` cycles after its bus slot starts.
+    fn mem_access(&mut self, now: Cycle, home: NodeId) -> Cycle {
+        let lat = self.cfg.machine.latency;
+        let slot_end = self.mems[home.0].acquire(now, lat.mem_occupancy);
+        let start = Cycle(slot_end.raw() - lat.mem_occupancy);
+        start + lat.mem_access
+    }
+
+    // ------------------------------------------------------------------
+    // Speculation triggers
+    // ------------------------------------------------------------------
+
+    /// FR: after serving a demand read, forward read-only copies to the
+    /// remaining predicted readers. Returns the time the speculative
+    /// batch left, if any.
+    fn fr_speculate(&mut self, now: Cycle, home: NodeId, block: BlockAddr) -> Option<Cycle> {
+        if !self.spec.policy.fr_enabled() {
+            return None;
+        }
+        let (vec, ticket) = self.spec.vmsp.predicted_readers(block)?;
+        self.spec_forward(now, home, block, vec, ticket, Trigger::Fr)
+    }
+
+    /// SWI: after a successful speculative write invalidation, forward
+    /// the block to the whole predicted read sequence. Returns the time
+    /// the speculative batch left, if any.
+    fn swi_read_speculate(&mut self, now: Cycle, home: NodeId, block: BlockAddr) -> Option<Cycle> {
+        let (vec, ticket) = self.spec.vmsp.predicted_readers(block)?;
+        self.spec_forward(now, home, block, vec, ticket, Trigger::Swi)
+    }
+
+    fn spec_forward(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        vec: ReaderSet,
+        ticket: SpecTicket,
+        trigger: Trigger,
+    ) -> Option<Cycle> {
+        let (targets, version) = {
+            let blk = self.dirs[home.0].block_mut(block);
+            debug_assert!(
+                !matches!(blk.state, DirState::Exclusive(_)),
+                "speculative forward while a writable copy exists"
+            );
+            (vec - blk.sharers(), blk.version)
+        };
+        if targets.is_empty() {
+            return None;
+        }
+        // The data was just fetched (or written back) by the access
+        // that triggered the speculation, so the batch is sourced from
+        // the directory's buffer: no extra memory occupancy, only NI
+        // and network costs.
+        let t = now;
+        for r in targets.iter() {
+            self.send(t, home, r.node(), block, MsgKind::SpecData { version });
+            self.spec.note_sent(block, r, ticket, trigger);
+        }
+        {
+            let blk = self.dirs[home.0].block_mut(block);
+            let merged = blk.sharers() | targets;
+            blk.state = DirState::Shared(merged);
+        }
+        self.spec.vmsp.speculate_readers(block, targets);
+        Some(t)
+    }
+
+    /// Attempts an SWI invalidation of `prev` (the block `owner` wrote
+    /// before its current write).
+    fn try_swi(&mut self, now: Cycle, home: NodeId, prev: BlockAddr, owner: ProcId) {
+        let eligible = match self.dirs[home.0].block(prev) {
+            Some(b) => b.busy.is_none() && b.state == DirState::Exclusive(owner),
+            None => false,
+        };
+        if !eligible || !self.spec.vmsp.swi_allowed(prev) {
+            return;
+        }
+        let ticket = self.spec.vmsp.swi_ticket(prev);
+        self.send(now, home, owner.node(), prev, MsgKind::InvWriteback { swi: true });
+        self.dirs[home.0].block_mut(prev).busy = Some(Txn {
+            kind: TxnKind::Swi { owner, ticket },
+            acks_left: 0,
+            awaiting_wb: true,
+        });
+        self.spec.stats.swi_inval_sent += 1;
+    }
+}
+
+/// Deterministic per-event invalidation-response delay in
+/// `[0, jitter)`: a SplitMix64 hash of `(cycle, proc)`, so runs stay
+/// exactly reproducible.
+fn ack_delay(now: Cycle, p: ProcId, jitter: u64) -> u64 {
+    if jitter == 0 {
+        return 0;
+    }
+    let mut z = now
+        .raw()
+        .wrapping_add((p.0 as u64) << 32)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % jitter
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("workload", &self.workload_name)
+            .field("policy", &self.cfg.policy)
+            .field("procs", &self.procs.len())
+            .field("done", &self.done_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specdsm_types::{Op, OpStream};
+
+    /// A workload described directly as per-processor op vectors.
+    struct Script {
+        name: &'static str,
+        ops: Vec<Vec<Op>>,
+    }
+
+    impl Workload for Script {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn num_procs(&self) -> usize {
+            self.ops.len()
+        }
+        fn build_streams(&self) -> Vec<OpStream> {
+            self.ops
+                .iter()
+                .map(|v| Box::new(v.clone().into_iter()) as OpStream)
+                .collect()
+        }
+    }
+
+    fn machine(n: usize) -> MachineConfig {
+        MachineConfig::with_nodes(n)
+    }
+
+    fn run_script(n: usize, policy: SpecPolicy, ops: Vec<Vec<Op>>) -> RunStats {
+        let cfg = SystemConfig {
+            machine: machine(n),
+            policy,
+            max_cycles: Some(50_000_000),
+            ..SystemConfig::default()
+        };
+        System::new(cfg, &Script { name: "script", ops })
+            .expect("valid system")
+            .run()
+    }
+
+    /// Block homed on node `h` (first page of that home).
+    fn homed(h: usize) -> BlockAddr {
+        MachineConfig::with_nodes(4).page_on(NodeId(h), 0)
+    }
+
+    #[test]
+    fn remote_clean_read_costs_418() {
+        // P1 reads a block homed on node 0 that nobody caches: the
+        // paper's Table 1 round-trip miss latency.
+        let b = homed(0);
+        let stats = run_script(
+            4,
+            SpecPolicy::Base,
+            vec![vec![], vec![Op::Read(b)], vec![], vec![]],
+        );
+        assert_eq!(stats.per_proc[1].mem_wait, 418);
+        assert_eq!(stats.per_proc[1].read_misses, 1);
+    }
+
+    #[test]
+    fn local_clean_read_costs_104() {
+        let b = homed(0);
+        let stats = run_script(4, SpecPolicy::Base, vec![vec![Op::Read(b)], vec![], vec![], vec![]]);
+        assert_eq!(stats.per_proc[0].mem_wait, 104);
+    }
+
+    #[test]
+    fn rtl_is_about_four() {
+        let m = machine(4);
+        assert!((m.remote_to_local_ratio() - 4.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn producer_consumer_values_flow() {
+        // P0 writes, barrier, P1..P3 read: everyone must see version 1.
+        let b = homed(0);
+        let mut ops = vec![vec![Op::Write(b), Op::Barrier]];
+        for _ in 1..4 {
+            ops.push(vec![Op::Barrier, Op::Read(b)]);
+        }
+        let stats = run_script(4, SpecPolicy::Base, ops);
+        assert_eq!(stats.dir_writes, 1);
+        assert_eq!(stats.dir_reads, 3);
+        // The first reader invalidates the writable copy: a writeback
+        // happened, so remote messages flow.
+        assert!(stats.remote_messages > 0);
+    }
+
+    #[test]
+    fn write_after_readers_invalidates_all() {
+        // Two readers cache the block; a writer then upgrades... writer
+        // had no copy, so it is a write miss that invalidates both.
+        let b = homed(0);
+        let stats = run_script(
+            4,
+            SpecPolicy::Base,
+            vec![
+                vec![Op::Barrier, Op::Write(b)],
+                vec![Op::Read(b), Op::Barrier],
+                vec![Op::Read(b), Op::Barrier],
+                vec![Op::Barrier],
+            ],
+        );
+        assert_eq!(stats.per_proc[0].write_misses, 1);
+        // The write had to collect 2 invalidation acks; it costs more
+        // than a clean write.
+        assert!(stats.per_proc[0].mem_wait > 418);
+    }
+
+    #[test]
+    fn upgrade_in_place_is_cheaper_than_write_miss() {
+        let b = homed(0);
+        // P1 reads then writes (upgrade); nobody else caches it.
+        let stats = run_script(
+            4,
+            SpecPolicy::Base,
+            vec![vec![], vec![Op::Read(b), Op::Write(b)], vec![], vec![]],
+        );
+        assert_eq!(stats.per_proc[1].upgrades, 1);
+        // Upgrade round trip has no memory access: strictly less than
+        // a 418 read plus a 418 write.
+        assert!(stats.per_proc[1].mem_wait < 418 + 418);
+    }
+
+    #[test]
+    fn migratory_write_write_transfers_ownership() {
+        // Home (node 3) is distinct from both writers, so P1's write
+        // pays the full three-hop invalidate + writeback + grant path:
+        // 157 (req) + 157 (inval) + 157 (wb) + 104 (mem) + 157 (grant).
+        let b = homed(3);
+        let stats = run_script(
+            4,
+            SpecPolicy::Base,
+            vec![
+                vec![Op::Write(b), Op::Barrier],
+                vec![Op::Barrier, Op::Write(b)],
+                vec![Op::Barrier],
+                vec![Op::Barrier],
+            ],
+        );
+        assert_eq!(stats.per_proc[1].write_misses, 1);
+        assert_eq!(stats.per_proc[1].mem_wait, 157 * 4 + 104);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let b = homed(0);
+        let ops = || {
+            vec![
+                vec![Op::Write(b), Op::Barrier, Op::Read(b.offset(1))],
+                vec![Op::Barrier, Op::Read(b)],
+                vec![Op::Barrier, Op::Read(b)],
+                vec![Op::Compute(13), Op::Barrier],
+            ]
+        };
+        let a = run_script(4, SpecPolicy::Base, ops());
+        let c = run_script(4, SpecPolicy::Base, ops());
+        assert_eq!(a.exec_cycles, c.exec_cycles);
+        assert_eq!(a.remote_messages, c.remote_messages);
+    }
+
+    #[test]
+    fn wrong_proc_count_rejected() {
+        let cfg = SystemConfig {
+            machine: machine(4),
+            ..SystemConfig::default()
+        };
+        let err = System::new(
+            cfg,
+            &Script {
+                name: "bad",
+                ops: vec![vec![]],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::ProcCountMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_barriers_deadlock() {
+        let _ = run_script(
+            2,
+            SpecPolicy::Base,
+            vec![vec![Op::Barrier], vec![]],
+        );
+    }
+
+    #[test]
+    fn fr_speculation_forwards_to_predicted_readers() {
+        // Repeated producer/consumer phases: producer P0 writes, readers
+        // P1..P3 read *staggered in time*. Under FR, once the pattern is
+        // learned, the first read triggers pushes to the later readers,
+        // whose reads then hit locally.
+        let b = homed(0);
+        let iters = 10;
+        let mut p0 = Vec::new();
+        let mut readers: Vec<Vec<Op>> = vec![Vec::new(); 3];
+        for _ in 0..iters {
+            p0.push(Op::Write(b));
+            p0.push(Op::Barrier);
+            p0.push(Op::Barrier);
+            for (k, r) in readers.iter_mut().enumerate() {
+                r.push(Op::Barrier);
+                // Stagger so the speculative copies outrun the reads.
+                r.push(Op::Compute(2_000 * k as u64));
+                r.push(Op::Read(b));
+                r.push(Op::Barrier);
+            }
+        }
+        let mut ops = vec![p0];
+        ops.extend(readers);
+        let base = run_script(4, SpecPolicy::Base, ops.clone());
+        let fr = run_script(4, SpecPolicy::FirstRead, ops);
+        assert!(fr.spec.fr_sent > 0, "FR sent speculative copies");
+        let spec_hits: u64 = fr.per_proc.iter().map(|p| p.spec_read_hits).sum();
+        assert!(spec_hits > 0, "some reads were satisfied speculatively");
+        assert!(
+            fr.exec_cycles <= base.exec_cycles,
+            "FR must not slow down a perfectly predictable pattern: {} vs {}",
+            fr.exec_cycles,
+            base.exec_cycles
+        );
+    }
+
+    #[test]
+    fn swi_speculation_triggers_on_producer_moving_on() {
+        // The producer fills a two-block message buffer each iteration,
+        // then the consumers read it — the paper's canonical SWI case:
+        // writing b2 signals that b1 is done, so SWI invalidates b1
+        // early and pushes it to the predicted readers.
+        let b1 = homed(0);
+        let b2 = homed(0).offset(1);
+        let iters = 12;
+        let mut p0 = Vec::new();
+        let mut rdr = Vec::new();
+        for _ in 0..iters {
+            p0.push(Op::Write(b1));
+            p0.push(Op::Compute(500));
+            p0.push(Op::Write(b2));
+            p0.push(Op::Barrier);
+            p0.push(Op::Barrier);
+            rdr.push(Op::Barrier);
+            rdr.push(Op::Read(b1));
+            rdr.push(Op::Read(b2));
+            rdr.push(Op::Barrier);
+        }
+        let ops = vec![p0, rdr.clone(), rdr.clone(), rdr];
+        let swi = run_script(4, SpecPolicy::SwiFr, ops);
+        assert!(swi.spec.swi_inval_sent > 0, "SWI invalidations issued");
+        assert!(swi.spec.swi_sent > 0, "SWI pushed copies to readers");
+    }
+
+    #[test]
+    fn spec_policies_preserve_read_values() {
+        // All three systems must execute the same program with the same
+        // per-processor access counts (speculation is transparent).
+        let b = homed(1);
+        let ops = || {
+            let mut p1 = Vec::new();
+            let mut rdr = Vec::new();
+            for _ in 0..8 {
+                p1.push(Op::Write(b));
+                p1.push(Op::Barrier);
+                p1.push(Op::Barrier);
+                rdr.push(Op::Barrier);
+                rdr.push(Op::Read(b));
+                rdr.push(Op::Barrier);
+            }
+            vec![rdr.clone(), p1, rdr.clone(), rdr]
+        };
+        let runs: Vec<RunStats> = SpecPolicy::ALL
+            .iter()
+            .map(|&policy| run_script(4, policy, ops()))
+            .collect();
+        for r in &runs {
+            for (i, p) in r.per_proc.iter().enumerate() {
+                assert_eq!(
+                    p.reads + p.writes,
+                    runs[0].per_proc[i].reads + runs[0].per_proc[i].writes,
+                    "{}: proc {i} executed a different number of accesses",
+                    r.policy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_records_requests_and_acks() {
+        let b = homed(0);
+        let cfg = SystemConfig {
+            machine: machine(2),
+            record_trace: true,
+            ..SystemConfig::default()
+        };
+        let script = Script {
+            name: "trace",
+            ops: vec![
+                vec![Op::Write(b), Op::Barrier],
+                vec![Op::Barrier, Op::Read(b)],
+            ],
+        };
+        let stats = System::new(cfg, &script).unwrap().run();
+        let trace = stats.trace.expect("trace recorded");
+        assert_eq!(trace.num_blocks(), 1);
+        // write + read + the read-triggered writeback ack.
+        assert_eq!(trace.total_requests(), 2);
+        assert!(trace.total_messages() >= 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! The event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycle;
+
+/// A deterministic discrete-event queue.
+///
+/// Events are popped in increasing cycle order; events scheduled for the
+/// same cycle are popped in the order they were scheduled (FIFO). This
+/// tie-break rule is what makes whole-machine simulations reproducible:
+/// a `BinaryHeap` alone would order same-cycle events arbitrarily.
+///
+/// # Example
+///
+/// ```
+/// use specdsm_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(3), 'x');
+/// q.schedule(Cycle(1), 'y');
+/// assert_eq!(q.pop(), Some((Cycle(1), 'y')));
+/// assert_eq!(q.pop(), Some((Cycle(3), 'x')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at cycle `at`.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// The cycle of the earliest pending event.
+    #[must_use]
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_equal_cycles() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), "first");
+        assert_eq!(q.pop(), Some((Cycle(5), "first")));
+        q.schedule(Cycle(3), "second");
+        q.schedule(Cycle(3), "third");
+        assert_eq!(q.pop(), Some((Cycle(3), "second")));
+        assert_eq!(q.pop(), Some((Cycle(3), "third")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(9), ());
+        assert_eq!(q.peek_cycle(), Some(Cycle(9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn scheduled_total_counts_all() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(1), ());
+        q.pop();
+        q.schedule(Cycle(2), ());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic pseudo-random numbers.
+
+/// An xorshift64* pseudo-random number generator.
+///
+/// The simulator must be reproducible across runs and platforms, and the
+/// statistical demands are modest (timing jitter, workload shuffles), so
+/// a tiny self-contained generator is preferable to pulling in `rand`
+/// as a core dependency. The sequence is fixed for a given seed forever.
+///
+/// # Example
+///
+/// ```
+/// use specdsm_sim::Xorshift64Star;
+///
+/// let mut a = Xorshift64Star::new(42);
+/// let mut b = Xorshift64Star::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let jitter = a.range(0, 100);
+/// assert!(jitter < 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift64Star {
+    state: u64,
+}
+
+impl Xorshift64Star {
+    /// Creates a generator from a seed. A zero seed is remapped to a
+    /// fixed non-zero constant (xorshift has an all-zero fixed point).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Xorshift64Star { state }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits, as in the standard conversion.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Derives an independent generator for a sub-stream (e.g. one per
+    /// processor) without correlating the streams.
+    #[must_use]
+    pub fn fork(&mut self, tag: u64) -> Xorshift64Star {
+        // SplitMix-style mixing of the parent's output with the tag.
+        let mut z = self.next_u64() ^ tag.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Xorshift64Star::new(z ^ (z >> 31))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Xorshift64Star::new(7);
+        let mut b = Xorshift64Star::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xorshift64Star::new(1);
+        let mut b = Xorshift64Star::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = Xorshift64Star::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = Xorshift64Star::new(3);
+        for _ in 0..10_000 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Xorshift64Star::new(1).range(5, 5);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Xorshift64Star::new(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xorshift64Star::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle changed order");
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut parent = Xorshift64Star::new(9);
+        let mut f1 = parent.fork(1);
+        let mut f2 = parent.fork(2);
+        let a: Vec<u64> = (0..8).map(|_| f1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| f2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Xorshift64Star::new(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,9 @@
+//! The seven applications of the paper's Table 2.
+
+pub mod appbt;
+pub mod barnes;
+pub mod em3d;
+pub mod moldyn;
+pub mod ocean;
+pub mod tomcatv;
+pub mod unstructured;

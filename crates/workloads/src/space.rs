@@ -1,0 +1,254 @@
+//! Shared-address-space region allocation.
+
+use specdsm_types::{BlockAddr, MachineConfig, NodeId};
+
+/// A named range of coherence blocks with a known home placement.
+///
+/// Regions hide the page-interleaved home mapping: a region allocated
+/// on one home occupies whole pages of that home, so `block(i)` walks
+/// pages in allocation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    blocks: Vec<BlockAddr>,
+}
+
+impl Region {
+    /// The `i`-th block of the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn block(&self, i: usize) -> BlockAddr {
+        self.blocks[i]
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates the blocks in index order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.blocks.iter().copied()
+    }
+}
+
+/// Allocates disjoint regions of the global block address space with
+/// explicit home placement, mirroring how a DSM operating system places
+/// pages (paper §2: "DSM allocates and distributes memory pages across
+/// the machine nodes").
+///
+/// # Example
+///
+/// ```
+/// use specdsm_types::{MachineConfig, NodeId};
+/// use specdsm_workloads::AddressSpace;
+///
+/// let machine = MachineConfig::paper_machine();
+/// let mut space = AddressSpace::new(machine.clone());
+/// let on3 = space.alloc_on(NodeId(3), 100);
+/// assert_eq!(on3.len(), 100);
+/// assert!(on3.iter().all(|b| machine.home_of(b) == NodeId(3)));
+///
+/// let striped = space.alloc_striped(64);
+/// let homes: std::collections::HashSet<_> =
+///     striped.iter().map(|b| machine.home_of(b)).collect();
+/// assert_eq!(homes.len(), machine.num_nodes.min(64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    machine: MachineConfig,
+    /// Next unallocated page index per home node.
+    next_page: Vec<u64>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for `machine`.
+    #[must_use]
+    pub fn new(machine: MachineConfig) -> Self {
+        let nodes = machine.num_nodes;
+        AddressSpace {
+            machine,
+            next_page: vec![0; nodes],
+        }
+    }
+
+    /// Allocates `blocks` blocks homed on `home`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is out of range.
+    pub fn alloc_on(&mut self, home: NodeId, blocks: usize) -> Region {
+        let mut out = Vec::with_capacity(blocks);
+        let per_page = self.machine.page_blocks;
+        while out.len() < blocks {
+            let page = self.next_page[home.0];
+            self.next_page[home.0] += 1;
+            let base = self.machine.page_on(home, page);
+            for i in 0..per_page {
+                if out.len() == blocks {
+                    break;
+                }
+                out.push(base.offset(i));
+            }
+        }
+        Region { blocks: out }
+    }
+
+    /// Allocates one region per node: region `i` is homed on node `i`
+    /// and holds `blocks_per_node` blocks (the classic partitioned
+    /// layout where each processor's data lives on its own node).
+    pub fn alloc_partitioned(&mut self, blocks_per_node: usize) -> Vec<Region> {
+        NodeId::all(self.machine.num_nodes)
+            .map(|n| self.alloc_on(n, blocks_per_node))
+            .collect()
+    }
+
+    /// Allocates `blocks` blocks in `chunk`-sized runs that rotate
+    /// across homes: blocks `0..chunk` on node 0, `chunk..2·chunk` on
+    /// node 1, and so on. Spreads load across homes while keeping
+    /// *consecutive* blocks on the same home — which matters for SWI,
+    /// whose early-write-invalidate table lives per directory and only
+    /// sees back-to-back writes that target the same home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn alloc_chunked(&mut self, blocks: usize, chunk: usize) -> Region {
+        assert!(chunk > 0, "chunk must be at least one block");
+        let n = self.machine.num_nodes;
+        let mut out = Vec::with_capacity(blocks);
+        let mut node = 0usize;
+        while out.len() < blocks {
+            let take = chunk.min(blocks - out.len());
+            let r = self.alloc_on(NodeId(node), take);
+            out.extend(r.iter());
+            node = (node + 1) % n;
+        }
+        Region { blocks: out }
+    }
+
+    /// Allocates `blocks` blocks striped round-robin across homes
+    /// (block `i` homed on node `i % num_nodes`).
+    pub fn alloc_striped(&mut self, blocks: usize) -> Region {
+        let n = self.machine.num_nodes;
+        // Grab one page per node lazily and deal blocks round-robin.
+        let mut pools: Vec<Region> = Vec::with_capacity(n);
+        let per_node = blocks.div_ceil(n);
+        for node in NodeId::all(n) {
+            pools.push(self.alloc_on(node, per_node));
+        }
+        let mut out = Vec::with_capacity(blocks);
+        for i in 0..blocks {
+            out.push(pools[i % n].block(i / n));
+        }
+        Region { blocks: out }
+    }
+
+    /// The machine this space maps onto.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(MachineConfig::paper_machine())
+    }
+
+    #[test]
+    fn alloc_on_respects_home() {
+        let mut s = space();
+        let m = s.machine().clone();
+        // More blocks than one page to force multi-page allocation.
+        let r = s.alloc_on(NodeId(5), 300);
+        assert_eq!(r.len(), 300);
+        assert!(r.iter().all(|b| m.home_of(b) == NodeId(5)));
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let mut s = space();
+        let a = s.alloc_on(NodeId(1), 200);
+        let b = s.alloc_on(NodeId(1), 200);
+        let set_a: HashSet<_> = a.iter().collect();
+        assert!(b.iter().all(|x| !set_a.contains(&x)));
+    }
+
+    #[test]
+    fn partitioned_allocates_per_node() {
+        let mut s = space();
+        let m = s.machine().clone();
+        let regions = s.alloc_partitioned(10);
+        assert_eq!(regions.len(), m.num_nodes);
+        for (i, r) in regions.iter().enumerate() {
+            assert!(r.iter().all(|b| m.home_of(b) == NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn striped_rotates_homes() {
+        let mut s = space();
+        let m = s.machine().clone();
+        let r = s.alloc_striped(32);
+        for i in 0..32 {
+            assert_eq!(m.home_of(r.block(i)), NodeId(i % m.num_nodes));
+        }
+    }
+
+    #[test]
+    fn striped_blocks_unique() {
+        let mut s = space();
+        let r = s.alloc_striped(100);
+        let set: HashSet<_> = r.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        let mut s = space();
+        let r = s.alloc_on(NodeId(0), 1);
+        let _ = r.block(1);
+    }
+
+    #[test]
+    fn chunked_keeps_consecutive_blocks_on_one_home() {
+        let mut s = space();
+        let m = s.machine().clone();
+        let r = s.alloc_chunked(64, 8);
+        assert_eq!(r.len(), 64);
+        for i in 0..64 {
+            assert_eq!(m.home_of(r.block(i)), NodeId((i / 8) % m.num_nodes));
+        }
+    }
+
+    #[test]
+    fn chunked_handles_partial_final_chunk() {
+        let mut s = space();
+        let r = s.alloc_chunked(10, 4);
+        assert_eq!(r.len(), 10);
+        let set: HashSet<_> = r.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk")]
+    fn zero_chunk_panics() {
+        let mut s = space();
+        let _ = s.alloc_chunked(4, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Lazy phase-at-a-time operation streams.
+
+use specdsm_types::Op;
+
+/// An [`Iterator`] of [`Op`]s generated one *phase* at a time.
+///
+/// Workloads are iterative; materializing every operation up front
+/// would cost hundreds of megabytes at paper scale. `PhasedStream`
+/// instead calls a generator closure once per phase (usually once per
+/// application iteration) and drains the returned buffer, so at most
+/// one phase per processor is resident.
+///
+/// # Example
+///
+/// ```
+/// use specdsm_types::Op;
+/// use specdsm_workloads::PhasedStream;
+///
+/// let stream = PhasedStream::new(3, |phase| vec![Op::Compute(phase as u64 + 1)]);
+/// let ops: Vec<Op> = stream.collect();
+/// assert_eq!(ops, vec![Op::Compute(1), Op::Compute(2), Op::Compute(3)]);
+/// ```
+pub struct PhasedStream {
+    phases: usize,
+    next_phase: usize,
+    buf: std::vec::IntoIter<Op>,
+    gen: Box<dyn FnMut(usize) -> Vec<Op>>,
+}
+
+impl PhasedStream {
+    /// Creates a stream of `phases` phases produced by `gen`.
+    #[must_use]
+    pub fn new(phases: usize, gen: impl FnMut(usize) -> Vec<Op> + 'static) -> Self {
+        PhasedStream {
+            phases,
+            next_phase: 0,
+            buf: Vec::new().into_iter(),
+            gen: Box::new(gen),
+        }
+    }
+
+    /// Boxes the stream as a [`specdsm_types::OpStream`].
+    #[must_use]
+    pub fn boxed(self) -> specdsm_types::OpStream {
+        Box::new(self)
+    }
+}
+
+impl Iterator for PhasedStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        loop {
+            if let Some(op) = self.buf.next() {
+                return Some(op);
+            }
+            if self.next_phase == self.phases {
+                return None;
+            }
+            let phase = self.next_phase;
+            self.next_phase += 1;
+            self.buf = (self.gen)(phase).into_iter();
+        }
+    }
+}
+
+impl std::fmt::Debug for PhasedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasedStream")
+            .field("phases", &self.phases)
+            .field("next_phase", &self.next_phase)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_phases_are_skipped() {
+        let s = PhasedStream::new(4, |p| {
+            if p % 2 == 0 {
+                vec![]
+            } else {
+                vec![Op::Compute(p as u64)]
+            }
+        });
+        let ops: Vec<Op> = s.collect();
+        assert_eq!(ops, vec![Op::Compute(1), Op::Compute(3)]);
+    }
+
+    #[test]
+    fn zero_phases_is_empty() {
+        let mut s = PhasedStream::new(0, |_| vec![Op::Barrier]);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn generator_called_lazily_per_phase() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let calls = Rc::new(Cell::new(0));
+        let c = calls.clone();
+        let mut s = PhasedStream::new(5, move |_| {
+            c.set(c.get() + 1);
+            vec![Op::Barrier, Op::Barrier]
+        });
+        assert_eq!(calls.get(), 0, "nothing generated before first pull");
+        s.next();
+        assert_eq!(calls.get(), 1);
+        s.next();
+        assert_eq!(calls.get(), 1, "second op comes from the buffer");
+        s.next();
+        assert_eq!(calls.get(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! The full application suite (paper Table 2).
+
+use std::fmt;
+
+use specdsm_types::{MachineConfig, Workload};
+
+use crate::apps::appbt::{Appbt, AppbtParams};
+use crate::apps::barnes::{Barnes, BarnesParams};
+use crate::apps::em3d::{Em3d, Em3dParams};
+use crate::apps::moldyn::{Moldyn, MoldynParams};
+use crate::apps::ocean::{Ocean, OceanParams};
+use crate::apps::tomcatv::{Tomcatv, TomcatvParams};
+use crate::apps::unstructured::{Unstructured, UnstructuredParams};
+
+/// The seven applications, in the paper's presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// NAS appbt (gaussian elimination over a cube).
+    Appbt,
+    /// SPLASH-2 Barnes-Hut.
+    Barnes,
+    /// Split-C em3d.
+    Em3d,
+    /// CHARMM-like molecular dynamics.
+    Moldyn,
+    /// SPLASH-2 ocean.
+    Ocean,
+    /// SPEC tomcatv.
+    Tomcatv,
+    /// CFD on an unstructured mesh.
+    Unstructured,
+}
+
+impl AppId {
+    /// All applications in Table 2 order.
+    pub const ALL: [AppId; 7] = [
+        AppId::Appbt,
+        AppId::Barnes,
+        AppId::Em3d,
+        AppId::Moldyn,
+        AppId::Ocean,
+        AppId::Tomcatv,
+        AppId::Unstructured,
+    ];
+
+    /// Builds the workload at the given scale for `machine`.
+    #[must_use]
+    pub fn build(self, machine: &MachineConfig, scale: Scale) -> Box<dyn Workload> {
+        match self {
+            AppId::Appbt => Box::new(Appbt::new(
+                machine.clone(),
+                match scale {
+                    Scale::Paper => AppbtParams::paper(),
+                    Scale::Default => AppbtParams::default_scale(),
+                    Scale::Quick => AppbtParams::quick(),
+                },
+            )),
+            AppId::Barnes => Box::new(Barnes::new(
+                machine.clone(),
+                match scale {
+                    Scale::Paper => BarnesParams::paper(),
+                    Scale::Default => BarnesParams::default_scale(),
+                    Scale::Quick => BarnesParams::quick(),
+                },
+            )),
+            AppId::Em3d => Box::new(Em3d::new(
+                machine.clone(),
+                match scale {
+                    Scale::Paper => Em3dParams::paper(),
+                    Scale::Default => Em3dParams::default_scale(),
+                    Scale::Quick => Em3dParams::quick(),
+                },
+            )),
+            AppId::Moldyn => Box::new(Moldyn::new(
+                machine.clone(),
+                match scale {
+                    Scale::Paper => MoldynParams::paper(),
+                    Scale::Default => MoldynParams::default_scale(),
+                    Scale::Quick => MoldynParams::quick(),
+                },
+            )),
+            AppId::Ocean => Box::new(Ocean::new(
+                machine.clone(),
+                match scale {
+                    Scale::Paper => OceanParams::paper(),
+                    Scale::Default => OceanParams::default_scale(),
+                    Scale::Quick => OceanParams::quick(),
+                },
+            )),
+            AppId::Tomcatv => Box::new(Tomcatv::new(
+                machine.clone(),
+                match scale {
+                    Scale::Paper => TomcatvParams::paper(),
+                    Scale::Default => TomcatvParams::default_scale(),
+                    Scale::Quick => TomcatvParams::quick(),
+                },
+            )),
+            AppId::Unstructured => Box::new(Unstructured::new(
+                machine.clone(),
+                match scale {
+                    Scale::Paper => UnstructuredParams::paper(),
+                    Scale::Default => UnstructuredParams::default_scale(),
+                    Scale::Quick => UnstructuredParams::quick(),
+                },
+            )),
+        }
+    }
+
+    /// The paper's Table 2 input description.
+    #[must_use]
+    pub fn paper_input(self) -> &'static str {
+        match self {
+            AppId::Appbt => "12x12x12 cubes, 40 iterations",
+            AppId::Barnes => "4K particles, 21 iterations",
+            AppId::Em3d => "76800 nodes, 15% remote, 50 iterations",
+            AppId::Moldyn => "2048 particles, 60 iterations",
+            AppId::Ocean => "130x130 array, 12 iterations",
+            AppId::Tomcatv => "128x128 array, 50 iterations",
+            AppId::Unstructured => "mesh.2K, 50 iterations",
+        }
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AppId::Appbt => "appbt",
+            AppId::Barnes => "barnes",
+            AppId::Em3d => "em3d",
+            AppId::Moldyn => "moldyn",
+            AppId::Ocean => "ocean",
+            AppId::Tomcatv => "tomcatv",
+            AppId::Unstructured => "unstructured",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Input scale for the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// The paper's Table 2 inputs.
+    Paper,
+    /// Scaled-down inputs preserving the sharing patterns (faster; the
+    /// default for the repro harness).
+    Default,
+    /// Tiny inputs for unit/integration tests.
+    Quick,
+}
+
+/// Builds all seven workloads at the given scale.
+///
+/// # Example
+///
+/// ```
+/// use specdsm_types::MachineConfig;
+/// use specdsm_workloads::{suite, Scale};
+///
+/// let machine = MachineConfig::paper_machine();
+/// let apps = suite(&machine, Scale::Quick);
+/// assert_eq!(apps.len(), 7);
+/// assert_eq!(apps[2].name(), "em3d");
+/// ```
+#[must_use]
+pub fn suite(machine: &MachineConfig, scale: Scale) -> Vec<Box<dyn Workload>> {
+    AppId::ALL
+        .iter()
+        .map(|app| app.build(machine, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seven_apps_in_order() {
+        let machine = MachineConfig::paper_machine();
+        let apps = suite(&machine, Scale::Quick);
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["appbt", "barnes", "em3d", "moldyn", "ocean", "tomcatv", "unstructured"]
+        );
+    }
+
+    #[test]
+    fn every_app_builds_all_scales() {
+        let machine = MachineConfig::paper_machine();
+        for app in AppId::ALL {
+            for scale in [Scale::Default, Scale::Quick] {
+                let w = app.build(&machine, scale);
+                assert_eq!(w.num_procs(), 16);
+                let streams = w.build_streams();
+                assert_eq!(streams.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_streams_are_finite_and_nonempty() {
+        let machine = MachineConfig::paper_machine();
+        for app in AppId::ALL {
+            let w = app.build(&machine, Scale::Quick);
+            for (p, s) in w.build_streams().into_iter().enumerate() {
+                let count = s.count();
+                assert!(count > 0, "{app} proc {p} has an empty stream");
+                assert!(count < 1_000_000, "{app} proc {p} quick stream too large");
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_inputs() {
+        for app in AppId::ALL {
+            assert!(!app.to_string().is_empty());
+            assert!(app.paper_input().contains("iterations"));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Explore the paper's analytic model (§5, Figure 6): when does a
+//! speculative coherent DSM pay off?
+//!
+//! ```sh
+//! cargo run --example analytic_model
+//! ```
+
+use specdsm::analytic::{figure6, ModelParams};
+
+fn main() {
+    // A single point: the paper's base configuration at 90% accuracy
+    // on a half-communication-bound application.
+    let m = ModelParams::paper_base(0.9);
+    println!(
+        "p = 0.9, n = 2, f = 1, rtl = 4, c = 0.5  →  speedup {:.2}×",
+        m.speedup(0.5)
+    );
+    println!();
+
+    // The break-even accuracy at c = 0.5: below this, speculate and lose.
+    let break_even = (0..=100)
+        .map(|i| i as f64 / 100.0)
+        .find(|&p| ModelParams::paper_base(p).speedup(0.5) >= 1.0)
+        .unwrap();
+    println!("break-even prediction accuracy at c = 0.5: ~{break_even:.2}");
+    println!("(the paper: \"high-accuracy predictors are the key\")");
+    println!();
+
+    // The full Figure 6, as four ASCII panels.
+    for panel in figure6(10) {
+        println!("-- {} --", panel.title);
+        print!("{:>6}", "c");
+        for s in &panel.series {
+            print!("{:>18}", s.label);
+        }
+        println!();
+        for i in 0..panel.series[0].points.len() {
+            print!("{:>6.1}", panel.series[0].points[i].0);
+            for s in &panel.series {
+                print!("{:>18.2}", s.points[i].1);
+            }
+            println!();
+        }
+        println!();
+    }
+}

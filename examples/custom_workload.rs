@@ -1,0 +1,103 @@
+//! Build your own workload: implement [`Workload`], hand it to the
+//! simulator, and compare the three systems on it.
+//!
+//! The example models a tiny bulk-synchronous pipeline: each processor
+//! produces a row of blocks, the next processor consumes it.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use specdsm::prelude::*;
+use specdsm::workloads::AddressSpace;
+
+/// A ring pipeline: proc p writes its row, proc p+1 reads it next
+/// iteration.
+struct RingPipeline {
+    machine: MachineConfig,
+    rows: Vec<Vec<BlockAddr>>,
+    iters: usize,
+}
+
+impl RingPipeline {
+    fn new(machine: MachineConfig, row_blocks: usize, iters: usize) -> Self {
+        let mut space = AddressSpace::new(machine.clone());
+        let rows = space
+            .alloc_partitioned(row_blocks)
+            .into_iter()
+            .map(|r| r.iter().collect())
+            .collect();
+        RingPipeline {
+            machine,
+            rows,
+            iters,
+        }
+    }
+}
+
+impl Workload for RingPipeline {
+    fn name(&self) -> &str {
+        "ring-pipeline"
+    }
+
+    fn num_procs(&self) -> usize {
+        self.machine.num_nodes
+    }
+
+    fn build_streams(&self) -> Vec<OpStream> {
+        let n = self.num_procs();
+        (0..n)
+            .map(|p| {
+                let prev = (p + n - 1) % n;
+                let mine: Vec<BlockAddr> = self.rows[p].clone();
+                let upstream: Vec<BlockAddr> = self.rows[prev].clone();
+                let iters = self.iters;
+                let mut ops = Vec::new();
+                for _ in 0..iters {
+                    for &b in &upstream {
+                        ops.push(Op::Read(b));
+                    }
+                    ops.push(Op::Compute(2_000));
+                    for &b in &mine {
+                        ops.push(Op::Write(b));
+                    }
+                    ops.push(Op::Barrier);
+                }
+                Box::new(ops.into_iter()) as OpStream
+            })
+            .collect()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::paper_machine();
+    let app = RingPipeline::new(machine.clone(), 24, 40);
+
+    println!("ring pipeline on {} nodes:", machine.num_nodes);
+    let mut base = 0u64;
+    for policy in SpecPolicy::ALL {
+        let cfg = SystemConfig {
+            machine: machine.clone(),
+            policy,
+            ..SystemConfig::default()
+        };
+        let stats = System::new(cfg, &app)?.run();
+        if policy == SpecPolicy::Base {
+            base = stats.exec_cycles;
+        }
+        println!(
+            "{:>8}: {:>9} cycles ({:5.1}%), c = {:.2}, SWI invals {} ({} premature)",
+            policy.to_string(),
+            stats.exec_cycles,
+            100.0 * stats.exec_cycles as f64 / base as f64,
+            stats.communication_ratio(),
+            stats.spec.swi_inval_sent,
+            stats.spec.swi_inval_premature,
+        );
+    }
+    println!();
+    println!("The stable write→read-sequence pattern is exactly what the");
+    println!("predictors learn: SWI hides both the invalidation and the");
+    println!("consumer's read latency.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: simulate one application on the paper's three systems
+//! (Base-DSM, FR-DSM, SWI-DSM) and print the Figure 9-style breakdown.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use specdsm::prelude::*;
+use specdsm::workloads::{Em3d, Em3dParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The machine of the paper's Table 1: 16 nodes, ~418-cycle remote
+    // round trip, remote-to-local ratio ~4.
+    let machine = MachineConfig::paper_machine();
+    println!(
+        "machine: {} nodes, remote read RTT {} cycles (rtl {:.1})",
+        machine.num_nodes,
+        machine.remote_read_round_trip(),
+        machine.remote_to_local_ratio()
+    );
+
+    // em3d: the paper's producer/consumer showcase for SWI.
+    let app = Em3d::new(machine.clone(), Em3dParams::default_scale());
+
+    let mut base_cycles = 0u64;
+    for policy in SpecPolicy::ALL {
+        let cfg = SystemConfig {
+            machine: machine.clone(),
+            policy,
+            ..SystemConfig::default()
+        };
+        let stats = System::new(cfg, &app)?.run();
+        if policy == SpecPolicy::Base {
+            base_cycles = stats.exec_cycles;
+        }
+        println!(
+            "{:>8}: {:>10} cycles ({:5.1}% of Base) — comp {:>9.0}, request wait {:>9.0}, \
+             spec reads {:4.1}%",
+            policy.to_string(),
+            stats.exec_cycles,
+            100.0 * stats.exec_cycles as f64 / base_cycles as f64,
+            stats.avg_comp(),
+            stats.avg_mem_wait(),
+            100.0 * stats.spec_read_fraction(),
+        );
+        if let Some(pred) = stats.predictor {
+            println!(
+                "          online VMSP: accuracy {:.1}%, coverage {:.1}%",
+                100.0 * pred.accuracy(),
+                100.0 * pred.coverage()
+            );
+        }
+    }
+    Ok(())
+}

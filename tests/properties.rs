@@ -1,0 +1,299 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use specdsm::core::{evaluate_trace, DirectoryTrace, PredictorKind};
+use specdsm::prelude::*;
+use specdsm::protocol::{System, SystemConfig};
+use specdsm::sim::{Cycle, EventQueue, FifoResource};
+use specdsm::types::NodeId;
+
+// ---------------------------------------------------------------------
+// ReaderSet behaves like a set of small integers
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn reader_set_matches_model(ids in proptest::collection::vec(0usize..64, 0..40)) {
+        let mut set = ReaderSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for &i in &ids {
+            prop_assert_eq!(set.insert(ProcId(i)), model.insert(i));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        for i in 0..64 {
+            prop_assert_eq!(set.contains(ProcId(i)), model.contains(&i));
+        }
+        let collected: Vec<usize> = set.iter().map(|p| p.0).collect();
+        let expected: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn reader_set_algebra(a in any::<u64>(), b in any::<u64>()) {
+        let (sa, sb) = (ReaderSet::from_bits(a), ReaderSet::from_bits(b));
+        prop_assert_eq!((sa | sb).bits(), a | b);
+        prop_assert_eq!((sa & sb).bits(), a & b);
+        prop_assert_eq!((sa - sb).bits(), a & !b);
+        prop_assert!((sa | sb).is_superset(sa));
+        prop_assert_eq!((sa - sb) & sb, ReaderSet::new());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event queue ordering
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_monotonic_fifo(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Cycle(t), i);
+        }
+        let mut last: Option<(Cycle, usize)> = None;
+        while let Some((at, id)) = q.pop() {
+            if let Some((prev_at, prev_id)) = last {
+                prop_assert!(at >= prev_at, "time never goes backwards");
+                if at == prev_at {
+                    prop_assert!(id > prev_id, "FIFO among equal cycles");
+                }
+            }
+            last = Some((at, id));
+        }
+    }
+
+    #[test]
+    fn fifo_resource_never_overlaps(reqs in proptest::collection::vec((0u64..5000, 1u64..50), 1..100)) {
+        let mut r = FifoResource::new();
+        let mut sorted = reqs.clone();
+        sorted.sort();
+        let mut last_end = 0u64;
+        for (at, occ) in sorted {
+            let done = r.acquire(Cycle(at), occ);
+            let start = done.raw() - occ;
+            prop_assert!(start >= at, "no service before arrival");
+            prop_assert!(start >= last_end, "no overlapping service");
+            last_end = done.raw();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predictor invariants on arbitrary message streams
+// ---------------------------------------------------------------------
+
+fn arb_msg() -> impl Strategy<Value = DirMsg> {
+    (0usize..5, 0usize..8).prop_map(|(kind, p)| {
+        let p = ProcId(p);
+        match kind {
+            0 => DirMsg::read(p),
+            1 => DirMsg::write(p),
+            2 => DirMsg::upgrade(p),
+            3 => DirMsg::ack_inv(p),
+            _ => DirMsg::writeback(p),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictor_counters_are_consistent(
+        msgs in proptest::collection::vec((0u64..4, arb_msg()), 0..400),
+        depth in 1usize..4,
+    ) {
+        for kind in PredictorKind::ALL {
+            let mut p = kind.build(depth, 8);
+            for &(b, m) in &msgs {
+                p.observe(BlockAddr(b), m);
+            }
+            let s = p.stats();
+            prop_assert!(s.correct <= s.predicted);
+            prop_assert!(s.predicted <= s.seen);
+            let total = msgs.len() as u64;
+            prop_assert!(s.seen <= total);
+            // Storage: entries only exist for observed blocks.
+            let st = p.storage();
+            prop_assert!(st.blocks <= 4);
+            if st.blocks > 0 {
+                prop_assert!(st.bytes_per_block() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn msp_ignores_ack_stream_position(
+        reqs in proptest::collection::vec((0u64..2, 0usize..4, 0usize..3), 1..100),
+    ) {
+        // Interleaving arbitrary acks anywhere in a request stream must
+        // not change MSP's statistics at all.
+        let requests: Vec<(BlockAddr, DirMsg)> = reqs
+            .iter()
+            .map(|&(b, p, k)| {
+                let m = match k {
+                    0 => DirMsg::read(ProcId(p)),
+                    1 => DirMsg::write(ProcId(p)),
+                    _ => DirMsg::upgrade(ProcId(p)),
+                };
+                (BlockAddr(b), m)
+            })
+            .collect();
+
+        let mut clean = PredictorKind::Msp.build(1, 8);
+        for &(b, m) in &requests {
+            clean.observe(b, m);
+        }
+
+        let mut noisy = PredictorKind::Msp.build(1, 8);
+        for (i, &(b, m)) in requests.iter().enumerate() {
+            noisy.observe(BlockAddr(0), DirMsg::ack_inv(ProcId(i % 4)));
+            noisy.observe(b, m);
+            noisy.observe(BlockAddr(1), DirMsg::writeback(ProcId(i % 4)));
+        }
+
+        prop_assert_eq!(clean.stats(), noisy.stats());
+    }
+
+    #[test]
+    fn trace_evaluation_is_pure(
+        msgs in proptest::collection::vec((0u64..3, arb_msg()), 0..200),
+    ) {
+        let mut trace = DirectoryTrace::new();
+        for &(b, m) in &msgs {
+            trace.record(BlockAddr(b), m);
+        }
+        for kind in PredictorKind::ALL {
+            let a = evaluate_trace(&trace, kind, 2, 8);
+            let b = evaluate_trace(&trace, kind, 2, 8);
+            prop_assert_eq!(a.stats, b.stats);
+            prop_assert_eq!(a.storage.entries, b.storage.entries);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analytic model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn analytic_speedup_well_behaved(
+        c in 0.0f64..=1.0,
+        f in 0.0f64..=1.0,
+        p in 0.0f64..=1.0,
+        rtl in 1.0f64..16.0,
+        n in 0.1f64..8.0,
+    ) {
+        let m = specdsm::analytic::ModelParams { f, p, rtl, n };
+        let s = m.speedup(c);
+        prop_assert!(s.is_finite());
+        prop_assert!(s > 0.0);
+        // No speculation or no communication ⇒ no change.
+        if f == 0.0 || c == 0.0 {
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+        // Speedup can never exceed rtl (all remote turned local).
+        prop_assert!(s <= rtl + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol fuzz: random barrier-synchronized programs stay coherent
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct FuzzWorkload {
+    ops: Vec<Vec<Op>>,
+}
+
+impl Workload for FuzzWorkload {
+    fn name(&self) -> &str {
+        "fuzz"
+    }
+    fn num_procs(&self) -> usize {
+        self.ops.len()
+    }
+    fn build_streams(&self) -> Vec<OpStream> {
+        self.ops
+            .iter()
+            .map(|v| Box::new(v.clone().into_iter()) as OpStream)
+            .collect()
+    }
+}
+
+fn arb_fuzz(nprocs: usize, blocks: u64) -> impl Strategy<Value = FuzzWorkload> {
+    let op = (0u8..4, 0..blocks, 1u64..200).prop_map(move |(k, b, c)| match k {
+        0 => Op::Read(BlockAddr(b)),
+        1 => Op::Write(BlockAddr(b)),
+        _ => Op::Compute(c),
+    });
+    let phase = proptest::collection::vec(op, 0..12);
+    let proc_prog = proptest::collection::vec(phase, 1..6);
+    proptest::collection::vec(proc_prog, nprocs..=nprocs).prop_map(|procs| {
+        // Equalize phase counts with barriers so the program terminates.
+        let phases = procs.iter().map(Vec::len).max().unwrap_or(1);
+        let ops = procs
+            .into_iter()
+            .map(|prog| {
+                let mut v = Vec::new();
+                for i in 0..phases {
+                    if let Some(phase) = prog.get(i) {
+                        v.extend(phase.iter().copied());
+                    }
+                    v.push(Op::Barrier);
+                }
+                v
+            })
+            .collect();
+        FuzzWorkload { ops }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_run_coherently_under_all_policies(w in arb_fuzz(4, 6)) {
+        // System::run asserts full directory/cache coherence at
+        // quiescence; any protocol bug the random program exposes
+        // panics here.
+        for policy in SpecPolicy::ALL {
+            let cfg = SystemConfig {
+                machine: MachineConfig::with_nodes(4),
+                policy,
+                max_cycles: Some(20_000_000),
+                ..SystemConfig::default()
+            };
+            let stats = System::new(cfg, &w).expect("valid").run();
+            prop_assert!(stats.exec_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn random_programs_identical_across_policy_for_access_counts(w in arb_fuzz(4, 5)) {
+        let counts: Vec<u64> = SpecPolicy::ALL
+            .iter()
+            .map(|&policy| {
+                let cfg = SystemConfig {
+                    machine: MachineConfig::with_nodes(4),
+                    policy,
+                    max_cycles: Some(20_000_000),
+                    ..SystemConfig::default()
+                };
+                let s = System::new(cfg, &w).expect("valid").run();
+                s.per_proc.iter().map(|p| p.reads + p.writes).sum()
+            })
+            .collect();
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[0], counts[2]);
+    }
+
+    #[test]
+    fn page_mapping_round_trips(node in 0usize..16, index in 0u64..1000) {
+        let m = MachineConfig::paper_machine();
+        let addr = m.page_on(NodeId(node), index);
+        prop_assert_eq!(m.home_of(addr), NodeId(node));
+    }
+}
