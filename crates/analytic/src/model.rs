@@ -144,8 +144,16 @@ mod tests {
         // Figure 6 top-right: "performance is not as sensitive to
         // misspeculation penalty at a high prediction accuracy."
         let spread = |p: f64| {
-            let lo = ModelParams { n: 1.5, ..ModelParams::paper_base(p) }.speedup(0.8);
-            let hi = ModelParams { n: 8.0, ..ModelParams::paper_base(p) }.speedup(0.8);
+            let lo = ModelParams {
+                n: 1.5,
+                ..ModelParams::paper_base(p)
+            }
+            .speedup(0.8);
+            let hi = ModelParams {
+                n: 8.0,
+                ..ModelParams::paper_base(p)
+            }
+            .speedup(0.8);
             lo - hi
         };
         assert!(spread(0.95) < spread(0.7));
@@ -171,8 +179,20 @@ mod tests {
     #[test]
     fn validation() {
         assert!(ModelParams::paper_base(0.5).is_valid());
-        assert!(!ModelParams { f: 1.2, ..ModelParams::paper_base(0.5) }.is_valid());
-        assert!(!ModelParams { rtl: 0.5, ..ModelParams::paper_base(0.5) }.is_valid());
-        assert!(!ModelParams { n: 0.0, ..ModelParams::paper_base(0.5) }.is_valid());
+        assert!(!ModelParams {
+            f: 1.2,
+            ..ModelParams::paper_base(0.5)
+        }
+        .is_valid());
+        assert!(!ModelParams {
+            rtl: 0.5,
+            ..ModelParams::paper_base(0.5)
+        }
+        .is_valid());
+        assert!(!ModelParams {
+            n: 0.0,
+            ..ModelParams::paper_base(0.5)
+        }
+        .is_valid());
     }
 }

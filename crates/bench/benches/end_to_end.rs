@@ -25,7 +25,10 @@ fn bench_apps(c: &mut Criterion) {
                             policy: p,
                             ..SystemConfig::default()
                         };
-                        System::new(cfg, w.as_ref()).expect("valid").run().exec_cycles
+                        System::new(cfg, w.as_ref())
+                            .expect("valid")
+                            .run()
+                            .exec_cycles
                     });
                 },
             );

@@ -1,0 +1,134 @@
+//! Criterion benches: speculation-feedback throughput.
+//!
+//! `set_swi_premature` and `prune_reader` are the verification half of
+//! the speculative DSM: every invalidation ack with a clear reference
+//! bit and every premature SWI verdict lands here. With the keyed
+//! pattern tables these are O(1) lookups, so the per-op cost must stay
+//! **flat** as the table grows — that is what the `entries` sweep
+//! checks (the pre-keyed layout scanned the whole table per op and
+//! scaled linearly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specdsm_core::{History, HistoryKey, PatternTable, SharingPredictor, Symbol, Vmsp};
+use specdsm_types::{BlockAddr, DirMsg, ProcId, ReaderSet, ReqKind};
+
+/// A pattern table with `entries` distinct depth-2 windows, each
+/// predicting a two-reader vector, plus the windows' keys.
+fn populated_table(entries: usize) -> (PatternTable, Vec<HistoryKey>) {
+    assert!(
+        entries <= 64 * 64,
+        "distinct in-range (writer, reader) pairs"
+    );
+    let mut table = PatternTable::new();
+    let mut keys = Vec::with_capacity(entries);
+    // Distinct (writer, reader) pairs give distinct windows; both ids
+    // stay below the machine's MAX_PROCS bound of 64.
+    for i in 0..entries {
+        let writer = Symbol::Req(ReqKind::Upgrade, ProcId(i % 64));
+        let reader = Symbol::Req(ReqKind::Read, ProcId(i / 64));
+        let mut h = History::new(2);
+        h.push(writer);
+        h.push(reader);
+        table.learn(
+            &h,
+            Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)])),
+        );
+        keys.push(h.key());
+    }
+    assert_eq!(table.len(), entries, "windows must be distinct");
+    (table, keys)
+}
+
+/// Per-op cost of the two feedback paths at increasing table sizes.
+/// O(1) tables show a flat line; a scanning implementation scales
+/// linearly with `entries`.
+fn bench_feedback_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback");
+    for entries in [64usize, 1024, 4096] {
+        let (table, keys) = populated_table(entries);
+        group.throughput(Throughput::Elements(keys.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("set_swi_premature", entries),
+            &entries,
+            |b, _| {
+                let mut t = table.clone();
+                b.iter(|| {
+                    let mut marked = 0u64;
+                    for &k in &keys {
+                        marked += u64::from(t.set_swi_premature(k));
+                    }
+                    marked
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("prune_reader", entries),
+            &entries,
+            |b, _| {
+                let mut t = table.clone();
+                b.iter(|| {
+                    let mut changed = 0u64;
+                    for &k in &keys {
+                        // P9 is never in the learned vectors, so every
+                        // call takes the full lookup + vector-check
+                        // path without mutating the table (keeps
+                        // iterations comparable).
+                        changed += u64::from(t.prune_reader(k, ProcId(9)));
+                    }
+                    changed
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// End-to-end VMSP feedback: train a block, then drive the
+/// mark-premature / prune cycle through the public ticket API.
+fn bench_vmsp_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feedback_vmsp");
+    let blocks = 512usize;
+    let mut vmsp = Vmsp::new(1, 16);
+    for bi in 0..blocks {
+        let b = BlockAddr(bi as u64);
+        for _ in 0..4 {
+            vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+            vmsp.observe(b, DirMsg::read(ProcId(1)));
+            vmsp.observe(b, DirMsg::read(ProcId(2)));
+        }
+        vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+    }
+    let tickets: Vec<_> = (0..blocks)
+        .map(|bi| {
+            let b = BlockAddr(bi as u64);
+            (b, vmsp.swi_ticket(b).expect("trained block"))
+        })
+        .collect();
+    group.throughput(Throughput::Elements(tickets.len() as u64));
+
+    group.bench_function("mark_swi_premature", |b| {
+        let mut v = vmsp.clone();
+        b.iter(|| {
+            for &(block, ticket) in &tickets {
+                v.mark_swi_premature(block, ticket);
+            }
+        });
+    });
+
+    group.bench_function("prune_reader_miss", |b| {
+        let mut v = vmsp.clone();
+        b.iter(|| {
+            let mut changed = 0u64;
+            for &(block, ticket) in &tickets {
+                changed += u64::from(v.prune_reader(block, ticket, ProcId(9)));
+            }
+            changed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_feedback_scaling, bench_vmsp_feedback);
+criterion_main!(benches);

@@ -2,30 +2,11 @@
 //! vs VMSP) — the cost side of Figures 7/8.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specdsm_bench::producer_consumer_stream;
 use specdsm_core::PredictorKind;
-use specdsm_types::{BlockAddr, DirMsg, ProcId};
-
-/// A producer/consumer message stream over many blocks, including acks.
-fn sample_stream(blocks: usize, iters: usize) -> Vec<(BlockAddr, DirMsg)> {
-    let mut msgs = Vec::new();
-    for it in 0..iters {
-        for b in 0..blocks {
-            let block = BlockAddr(b as u64);
-            let writer = ProcId(b % 4);
-            let (r1, r2) = if it % 2 == 0 { (4, 5) } else { (5, 4) };
-            msgs.push((block, DirMsg::upgrade(writer)));
-            msgs.push((block, DirMsg::ack_inv(ProcId(r1))));
-            msgs.push((block, DirMsg::ack_inv(ProcId(r2))));
-            msgs.push((block, DirMsg::read(ProcId(r1))));
-            msgs.push((block, DirMsg::read(ProcId(r2))));
-            msgs.push((block, DirMsg::writeback(writer)));
-        }
-    }
-    msgs
-}
 
 fn bench_observe(c: &mut Criterion) {
-    let stream = sample_stream(64, 20);
+    let stream = producer_consumer_stream(64, 20);
     let mut group = c.benchmark_group("predictor_observe");
     group.throughput(Throughput::Elements(stream.len() as u64));
     for kind in PredictorKind::ALL {
@@ -48,5 +29,32 @@ fn bench_observe(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe);
+/// Large working set: 4096 blocks stresses the first-level block index
+/// (the per-block map) rather than any single pattern table, the
+/// regime a production directory serving real traffic lives in.
+fn bench_observe_large(c: &mut Criterion) {
+    let stream = producer_consumer_stream(4096, 2);
+    let mut group = c.benchmark_group("predictor_observe_4096");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for kind in PredictorKind::ALL {
+        for depth in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), format!("d{depth}")),
+                &depth,
+                |bench, &d| {
+                    bench.iter(|| {
+                        let mut p = kind.build(d, 16);
+                        for &(block, msg) in &stream {
+                            p.observe(block, msg);
+                        }
+                        p.stats().correct
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_observe_large);
 criterion_main!(benches);

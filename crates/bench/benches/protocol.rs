@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use specdsm_protocol::{SpecPolicy, System, SystemConfig};
 use specdsm_types::MachineConfig;
-use specdsm_workloads::{Migratory, ProducerConsumer, WideSharing};
 use specdsm_types::Workload;
+use specdsm_workloads::{Migratory, ProducerConsumer, WideSharing};
 
 fn run(policy: SpecPolicy, w: &dyn Workload) -> u64 {
     let cfg = SystemConfig {

@@ -1,0 +1,201 @@
+//! `perf_snapshot` — machine-readable predictor performance snapshot.
+//!
+//! Runs the predictor-throughput micro-measurements (the same stream
+//! shape as `benches/predictors.rs`) plus the speculation-feedback
+//! path, and writes the results as JSON so successive PRs can track
+//! the perf trajectory without parsing bench logs.
+//!
+//! ```text
+//! perf_snapshot [--out FILE]      (default: BENCH_predictors.json)
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use specdsm_bench::producer_consumer_stream;
+use specdsm_core::{History, PatternTable, PredictorKind, Symbol};
+use specdsm_types::{ProcId, ReaderSet, ReqKind};
+
+/// Times `routine` adaptively: warm up, then run batches until the
+/// window fills. Returns mean ns per call.
+fn measure<F: FnMut() -> u64>(mut routine: F, window: Duration) -> f64 {
+    // Warm-up call (also keeps the optimizer honest via the sink).
+    let mut sink = 0u64;
+    sink = sink.wrapping_add(routine());
+    let probe_start = Instant::now();
+    sink = sink.wrapping_add(routine());
+    let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+    let batch = (window.as_nanos() / 8 / probe.as_nanos()).clamp(1, 1 << 20) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut calls = 0u64;
+    while total < window {
+        let start = Instant::now();
+        for _ in 0..batch {
+            sink = sink.wrapping_add(routine());
+        }
+        total += start.elapsed();
+        calls += batch;
+    }
+    std::hint::black_box(sink);
+    total.as_nanos() as f64 / calls as f64
+}
+
+struct ObserveRow {
+    predictor: String,
+    depth: usize,
+    msgs_per_run: usize,
+    ns_per_msg: f64,
+    ops_per_sec: f64,
+}
+
+struct FeedbackRow {
+    op: &'static str,
+    table_entries: usize,
+    ns_per_op: f64,
+}
+
+fn observe_rows(window: Duration) -> Vec<ObserveRow> {
+    let stream = producer_consumer_stream(64, 20);
+    let mut rows = Vec::new();
+    for kind in PredictorKind::ALL {
+        for depth in [1usize, 2, 4] {
+            let ns_per_run = measure(
+                || {
+                    let mut p = kind.build(depth, 16);
+                    for &(block, msg) in &stream {
+                        p.observe(block, msg);
+                    }
+                    p.stats().correct
+                },
+                window,
+            );
+            let ns_per_msg = ns_per_run / stream.len() as f64;
+            rows.push(ObserveRow {
+                predictor: kind.to_string(),
+                depth,
+                msgs_per_run: stream.len(),
+                ns_per_msg,
+                ops_per_sec: 1e9 / ns_per_msg,
+            });
+        }
+    }
+    rows
+}
+
+fn feedback_rows(window: Duration) -> Vec<FeedbackRow> {
+    let mut rows = Vec::new();
+    for entries in [64usize, 1024, 4096] {
+        let mut table = PatternTable::new();
+        let mut keys = Vec::with_capacity(entries);
+        for i in 0..entries {
+            let mut h = History::new(2);
+            h.push(Symbol::Req(ReqKind::Upgrade, ProcId(i % 64)));
+            h.push(Symbol::Req(ReqKind::Read, ProcId(i / 64)));
+            table.learn(
+                &h,
+                Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)])),
+            );
+            keys.push(h.key());
+        }
+        assert_eq!(table.len(), entries);
+
+        let mut marked = table.clone();
+        let ns = measure(
+            || {
+                keys.iter()
+                    .map(|&k| u64::from(marked.set_swi_premature(k)))
+                    .sum()
+            },
+            window,
+        ) / keys.len() as f64;
+        rows.push(FeedbackRow {
+            op: "set_swi_premature",
+            table_entries: entries,
+            ns_per_op: ns,
+        });
+
+        let mut pruned = table.clone();
+        let ns = measure(
+            || {
+                keys.iter()
+                    .map(|&k| u64::from(pruned.prune_reader(k, ProcId(9))))
+                    .sum()
+            },
+            window,
+        ) / keys.len() as f64;
+        rows.push(FeedbackRow {
+            op: "prune_reader",
+            table_entries: entries,
+            ns_per_op: ns,
+        });
+    }
+    rows
+}
+
+fn render_json(observe: &[ObserveRow], feedback: &[FeedbackRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"predictor_perf_snapshot\",\n");
+    out.push_str("  \"unit\": \"ns\",\n");
+    out.push_str("  \"observe\": [\n");
+    for (i, r) in observe.iter().enumerate() {
+        let comma = if i + 1 == observe.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"predictor\": \"{}\", \"depth\": {}, \"msgs_per_run\": {}, \
+             \"ns_per_msg\": {:.2}, \"ops_per_sec\": {:.0}}}{comma}",
+            r.predictor, r.depth, r.msgs_per_run, r.ns_per_msg, r.ops_per_sec
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"feedback\": [\n");
+    for (i, r) in feedback.iter().enumerate() {
+        let comma = if i + 1 == feedback.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"op\": \"{}\", \"table_entries\": {}, \"ns_per_op\": {:.2}}}{comma}",
+            r.op, r.table_entries, r.ns_per_op
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_predictors.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: perf_snapshot [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let window = Duration::from_millis(300);
+    eprintln!("measuring observe throughput (9 configurations)...");
+    let observe = observe_rows(window);
+    eprintln!("measuring feedback paths (6 configurations)...");
+    let feedback = feedback_rows(window);
+
+    let json = render_json(&observe, &feedback);
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -56,10 +56,12 @@ fn main() {
         }
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-        experiments = ["config", "fig6", "fig7", "fig8", "table3", "table4", "fig9", "table5"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        experiments = [
+            "config", "fig6", "fig7", "fig8", "table3", "table4", "fig9", "table5",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     }
 
     if let Some(dir) = &out_dir {
@@ -86,8 +88,7 @@ fn main() {
         };
         println!("{text}");
         if let Some(dir) = &out_dir {
-            std::fs::write(dir.join(format!("{exp}.txt")), &text)
-                .expect("write experiment output");
+            std::fs::write(dir.join(format!("{exp}.txt")), &text).expect("write experiment output");
         }
     }
 }
@@ -332,13 +333,7 @@ fn render_table3(lab: &mut Lab) -> String {
     );
     let mut t = TextTable::new(["application", "Cosmos", "MSP", "VMSP"]);
     for row in table3(lab) {
-        let cell = |i: usize| {
-            format!(
-                "{} ({})",
-                pct(row.predicted[i].0),
-                pct(row.predicted[i].1)
-            )
-        };
+        let cell = |i: usize| format!("{} ({})", pct(row.predicted[i].0), pct(row.predicted[i].1));
         t.row([row.app.to_string(), cell(0), cell(1), cell(2)]);
     }
     let _ = write!(s, "{t}");

@@ -54,8 +54,7 @@ pub fn fig8(lab: &mut Lab) -> Vec<Fig8Row> {
         .map(|&app| {
             let trace = lab.trace(app);
             let accuracy = PredictorKind::ALL.map(|kind| {
-                [1usize, 2, 4]
-                    .map(|d| evaluate_trace(trace, kind, d, NPROCS).stats.accuracy())
+                [1usize, 2, 4].map(|d| evaluate_trace(trace, kind, d, NPROCS).stats.accuracy())
             });
             Fig8Row { app, accuracy }
         })
@@ -186,10 +185,7 @@ pub fn table5(lab: &mut Lab) -> Vec<Table5Row> {
                     frac_r(swi.swi_sent),
                     frac_r(swi.swi_unused),
                 ),
-                swi_dsm_invals: (
-                    frac_w(swi.swi_inval_sent),
-                    frac_w(swi.swi_inval_premature),
-                ),
+                swi_dsm_invals: (frac_w(swi.swi_inval_sent), frac_w(swi.swi_inval_premature)),
             }
         })
         .collect()
@@ -242,7 +238,11 @@ mod tests {
         for row in &rows {
             let (comp, req) = row.bars[0];
             // Base-DSM bar is exactly 100%.
-            assert!((comp + req - 100.0).abs() < 1e-6, "{}: {comp}+{req}", row.app);
+            assert!(
+                (comp + req - 100.0).abs() < 1e-6,
+                "{}: {comp}+{req}",
+                row.app
+            );
         }
     }
 }

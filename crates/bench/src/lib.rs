@@ -23,6 +23,7 @@
 
 mod experiments;
 mod lab;
+mod streams;
 mod table;
 
 pub use experiments::{
@@ -30,6 +31,7 @@ pub use experiments::{
     Table4Row, Table5Row,
 };
 pub use lab::Lab;
+pub use streams::producer_consumer_stream;
 pub use table::TextTable;
 
 pub use specdsm_workloads::{AppId, Scale};

@@ -1,0 +1,45 @@
+//! Shared synthetic message streams for micro-benchmarks.
+//!
+//! The criterion benches and the `perf_snapshot` binary must measure
+//! the **same** workload for their numbers to be comparable across
+//! PRs, so the generator lives here rather than being duplicated in
+//! each target.
+
+use specdsm_types::{BlockAddr, DirMsg, ProcId};
+
+/// A producer/consumer directory-message stream over `blocks` blocks ×
+/// `iters` iterations, including the protocol acks and with the reader
+/// pair swapping order every other iteration (the paper's re-ordering
+/// perturbation). Six messages per block per iteration.
+#[must_use]
+pub fn producer_consumer_stream(blocks: usize, iters: usize) -> Vec<(BlockAddr, DirMsg)> {
+    let mut msgs = Vec::with_capacity(blocks * iters * 6);
+    for it in 0..iters {
+        for b in 0..blocks {
+            let block = BlockAddr(b as u64);
+            let writer = ProcId(b % 4);
+            let (r1, r2) = if it % 2 == 0 { (4, 5) } else { (5, 4) };
+            msgs.push((block, DirMsg::upgrade(writer)));
+            msgs.push((block, DirMsg::ack_inv(ProcId(r1))));
+            msgs.push((block, DirMsg::ack_inv(ProcId(r2))));
+            msgs.push((block, DirMsg::read(ProcId(r1))));
+            msgs.push((block, DirMsg::read(ProcId(r2))));
+            msgs.push((block, DirMsg::writeback(writer)));
+        }
+    }
+    msgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_shape() {
+        let s = producer_consumer_stream(3, 2);
+        assert_eq!(s.len(), 3 * 2 * 6);
+        // Reader order flips between iterations.
+        assert_eq!(s[3].1, DirMsg::read(ProcId(4)));
+        assert_eq!(s[3 + 18].1, DirMsg::read(ProcId(5)));
+    }
+}

@@ -96,7 +96,6 @@ impl fmt::Display for TextTable {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

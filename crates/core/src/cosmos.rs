@@ -111,7 +111,11 @@ mod tests {
             let mut c = Cosmos::new(1, 16);
             let b = BlockAddr(1);
             for i in 0..100 {
-                let (a1, a2) = if reorder && i % 2 == 1 { (2, 1) } else { (1, 2) };
+                let (a1, a2) = if reorder && i % 2 == 1 {
+                    (2, 1)
+                } else {
+                    (1, 2)
+                };
                 for m in [
                     DirMsg::upgrade(ProcId(3)),
                     DirMsg::ack_inv(ProcId(a1)),
@@ -126,7 +130,10 @@ mod tests {
         };
         let stable = run(false);
         let reordered = run(true);
-        assert!(stable > 0.95, "stable acks are highly predictable: {stable}");
+        assert!(
+            stable > 0.95,
+            "stable acks are highly predictable: {stable}"
+        );
         assert!(
             reordered < stable - 0.2,
             "ack re-ordering must hurt Cosmos: {reordered} vs {stable}"

@@ -56,6 +56,7 @@
 
 mod cosmos;
 mod eval;
+mod fxhash;
 mod msp;
 mod predictor;
 mod stats;
@@ -68,6 +69,7 @@ mod vmsp;
 
 pub use cosmos::Cosmos;
 pub use eval::{evaluate_trace, DirectoryTrace, TraceEval};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use msp::Msp;
 pub use predictor::{PredictorKind, SharingPredictor};
 pub use stats::{Observation, PredictorStats};

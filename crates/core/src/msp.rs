@@ -110,8 +110,14 @@ mod tests {
     fn acks_are_ignored() {
         let mut m = Msp::new(1, 16);
         let b = BlockAddr(1);
-        assert_eq!(m.observe(b, DirMsg::ack_inv(ProcId(1))), Observation::Ignored);
-        assert_eq!(m.observe(b, DirMsg::writeback(ProcId(2))), Observation::Ignored);
+        assert_eq!(
+            m.observe(b, DirMsg::ack_inv(ProcId(1))),
+            Observation::Ignored
+        );
+        assert_eq!(
+            m.observe(b, DirMsg::writeback(ProcId(2))),
+            Observation::Ignored
+        );
         assert_eq!(m.stats().seen, 0);
         assert_eq!(m.storage().blocks, 0, "acks allocate no state");
     }

@@ -52,8 +52,11 @@ pub enum PredictorKind {
 
 impl PredictorKind {
     /// All three kinds, in the paper's presentation order.
-    pub const ALL: [PredictorKind; 3] =
-        [PredictorKind::Cosmos, PredictorKind::Msp, PredictorKind::Vmsp];
+    pub const ALL: [PredictorKind; 3] = [
+        PredictorKind::Cosmos,
+        PredictorKind::Msp,
+        PredictorKind::Vmsp,
+    ];
 
     /// Builds a fresh predictor of this kind.
     ///

@@ -177,7 +177,9 @@ mod tests {
             s.record(if i % 3 == 0 {
                 Observation::NoPrediction
             } else {
-                Observation::Predicted { correct: i % 2 == 0 }
+                Observation::Predicted {
+                    correct: i % 2 == 0,
+                }
             });
         }
         assert!(s.correct <= s.predicted);

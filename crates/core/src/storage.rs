@@ -95,6 +95,30 @@ impl StorageModel {
     pub fn bytes_per_block(&self, pte: f64) -> f64 {
         (self.history_bits() as f64 + self.pte_bits() as f64 * pte) / 8.0
     }
+
+    /// Bytes one pattern-table entry actually occupies in *this
+    /// reproduction's* keyed software layout (as opposed to the
+    /// paper's hardware bit model above): the 64-bit `HistoryKey`
+    /// index, the owning-window box (`depth` symbols plus the
+    /// fat-pointer header) kept for collision detection, and the
+    /// prediction entry itself.
+    #[must_use]
+    pub fn sw_entry_bytes(&self) -> u64 {
+        let key = std::mem::size_of::<crate::HistoryKey>() as u64;
+        let window_box = 16 + self.depth as u64 * std::mem::size_of::<crate::Symbol>() as u64;
+        let entry = std::mem::size_of::<crate::PatternEntry>() as u64;
+        key + window_box + entry
+    }
+
+    /// Bytes one per-block history register occupies in the software
+    /// layout: the ring buffer of `depth` symbols plus the rolling-key
+    /// and ring bookkeeping (key, head, depth, base power).
+    #[must_use]
+    pub fn sw_history_bytes(&self) -> u64 {
+        let ring = self.depth as u64 * std::mem::size_of::<crate::Symbol>() as u64;
+        let bookkeeping = 4 * 8; // key + head + depth + B^depth
+        ring + bookkeeping
+    }
 }
 
 /// Measured storage of a live predictor: how many blocks have allocated
@@ -126,6 +150,15 @@ impl StorageReport {
     #[must_use]
     pub fn bytes_per_block(&self) -> f64 {
         self.model.bytes_per_block(self.pte_per_block())
+    }
+
+    /// Total bytes of live predictor state in the reproduction's keyed
+    /// software layout (ring-buffer registers + keyed entries). This
+    /// is the number to watch for host-memory budgeting; the paper's
+    /// hardware bit model stays in [`StorageReport::bytes_per_block`].
+    #[must_use]
+    pub fn sw_bytes_total(&self) -> u64 {
+        self.blocks * self.model.sw_history_bytes() + self.entries * self.model.sw_entry_bytes()
     }
 }
 
@@ -235,6 +268,29 @@ mod tests {
             assert!(d4.history_bits() > d1.history_bits());
             assert!(d4.pte_bits() > d1.pte_bits());
         }
+    }
+
+    #[test]
+    fn software_layout_accounting() {
+        let m = model(PredictorKind::Msp, 2);
+        // Key (8) + window box header (16) + 2 symbols + entry.
+        let sym = std::mem::size_of::<crate::Symbol>() as u64;
+        let entry = std::mem::size_of::<crate::PatternEntry>() as u64;
+        assert_eq!(m.sw_entry_bytes(), 8 + 16 + 2 * sym + entry);
+        assert_eq!(m.sw_history_bytes(), 2 * sym + 32);
+
+        let rep = StorageReport {
+            model: m,
+            blocks: 3,
+            entries: 7,
+        };
+        assert_eq!(
+            rep.sw_bytes_total(),
+            3 * m.sw_history_bytes() + 7 * m.sw_entry_bytes()
+        );
+        // The software layout is strictly fatter than the paper's
+        // hardware bit budget — that is the price of the O(1) map.
+        assert!(rep.sw_bytes_total() as f64 > rep.bytes_per_block() * 3.0);
     }
 
     #[test]

@@ -51,28 +51,44 @@ impl Symbol {
         }
     }
 
-    /// A stable 64-bit encoding used for history hashing.
+    /// The symbol's contribution to a rolling [`HistoryKey`]: a
+    /// two-round SplitMix64 over the symbol's `(type tag, payload)`
+    /// pair. The tag is diffused first and the **full 64-bit payload**
+    /// folded in afterwards, so a wide [`ReadVec`](Symbol::ReadVec)
+    /// loses no reader bits (a packed single-word encoding would have
+    /// to truncate the vector to make room for the tag — fatal now
+    /// that the result indexes the pattern tables). The additive
+    /// constant keeps the all-zero pair (`<Read, P0>`) away from the
+    /// mix function's zero fixed point.
     #[must_use]
-    fn encode(&self) -> u64 {
-        match *self {
+    pub(crate) fn mixed(&self) -> u64 {
+        let (tag, payload): (u64, u64) = match *self {
             Symbol::Req(kind, p) => {
                 let k = match kind {
                     ReqKind::Read => 0u64,
                     ReqKind::Write => 1,
                     ReqKind::Upgrade => 2,
                 };
-                (p.0 as u64) << 8 | k
+                (k, p.0 as u64)
             }
             Symbol::Ack(kind, p) => {
                 let k = match kind {
                     AckKind::InvAck => 3u64,
                     AckKind::Writeback => 4,
                 };
-                (p.0 as u64) << 8 | k
+                (k, p.0 as u64)
             }
-            Symbol::ReadVec(v) => v.bits() << 8 | 5,
-        }
+            Symbol::ReadVec(v) => (5, v.bits()),
+        };
+        splitmix64(splitmix64(tag.wrapping_add(0x9E37_79B9_7F4A_7C15)).wrapping_add(payload))
     }
+}
+
+/// The SplitMix64 finalizer: a bijective 64-bit diffusion round.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl fmt::Display for Symbol {
@@ -85,10 +101,25 @@ impl fmt::Display for Symbol {
     }
 }
 
-/// A stable hash of a history window, used as a compact handle when the
-/// protocol needs to refer back to "the pattern entry that was current
-/// when speculation was triggered" (SWI premature bits, read-vector
-/// pruning).
+/// A stable hash of a history window, used both as the **index of the
+/// pattern tables** (entries are keyed by `HistoryKey`, the software
+/// analogue of the paper's hardware table index) and as a compact
+/// handle when the protocol needs to refer back to "the pattern entry
+/// that was current when speculation was triggered" (SWI premature
+/// bits, read-vector pruning).
+///
+/// The key is a polynomial rolling hash over the window's mixed symbol
+/// encodings, ordered oldest first:
+///
+/// ```text
+/// key(s0..s(n-1)) = Σ mixed(si) · B^(n-1-i)   (mod 2^64)
+/// ```
+///
+/// with `B` an odd constant. Because multiplication by an odd constant
+/// is invertible modulo 2^64, appending a symbol ([`HistoryKey::push`])
+/// and retiring the oldest one ([`HistoryKey::shift`]) are exact O(1)
+/// updates — a full [`History`](crate::History) register maintains its
+/// key incrementally instead of re-hashing the window on every access.
 ///
 /// # Example
 ///
@@ -102,23 +133,59 @@ impl fmt::Display for Symbol {
 ///     HistoryKey::of(&h),
 ///     HistoryKey::of(&[Symbol::Req(ReqKind::Upgrade, ProcId(2))]),
 /// );
+///
+/// // Incremental and batch construction agree.
+/// let w = Symbol::Req(ReqKind::Write, ProcId(1));
+/// assert_eq!(HistoryKey::EMPTY.push(h[0]).push(w), HistoryKey::of(&[h[0], w]));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct HistoryKey(u64);
 
 impl HistoryKey {
-    /// Hashes a history window (FNV-1a over the stable symbol encoding).
+    /// The polynomial base. Odd, so that `wrapping_mul(B)` never
+    /// collapses information (it is a bijection on `u64`).
+    pub(crate) const BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Key of the empty window.
+    pub const EMPTY: HistoryKey = HistoryKey(0);
+
+    /// Hashes a history window, oldest symbol first.
     #[must_use]
     pub fn of(history: &[Symbol]) -> HistoryKey {
-        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-        for sym in history {
-            let e = sym.encode();
-            for shift in (0..64).step_by(8) {
-                h ^= (e >> shift) & 0xFF;
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
+        history
+            .iter()
+            .fold(HistoryKey::EMPTY, |key, &sym| key.push(sym))
+    }
+
+    /// Key of the window extended by one symbol: `key·B + mixed(sym)`.
+    #[must_use]
+    pub fn push(self, sym: Symbol) -> HistoryKey {
+        HistoryKey(self.0.wrapping_mul(Self::BASE).wrapping_add(sym.mixed()))
+    }
+
+    /// Key of a **full** depth-`d` window after shifting `incoming` in
+    /// and `outgoing` (the oldest symbol) out. `base_pow_depth` must be
+    /// `B^d`, precomputed once per register (see
+    /// [`History`](crate::History)).
+    #[must_use]
+    pub(crate) fn shift(self, outgoing: Symbol, incoming: Symbol, base_pow_depth: u64) -> Self {
+        HistoryKey(
+            self.0
+                .wrapping_mul(Self::BASE)
+                .wrapping_add(incoming.mixed())
+                .wrapping_sub(outgoing.mixed().wrapping_mul(base_pow_depth)),
+        )
+    }
+
+    /// `B^depth`, the per-register constant consumed by
+    /// [`HistoryKey::shift`].
+    #[must_use]
+    pub(crate) fn base_pow(depth: usize) -> u64 {
+        let mut pow: u64 = 1;
+        for _ in 0..depth {
+            pow = pow.wrapping_mul(Self::BASE);
         }
-        HistoryKey(h)
+        pow
     }
 }
 
@@ -131,10 +198,7 @@ mod tests {
         let m = DirMsg::read(ProcId(2));
         assert_eq!(Symbol::from_msg(m), Symbol::Req(ReqKind::Read, ProcId(2)));
         let a = DirMsg::ack_inv(ProcId(1));
-        assert_eq!(
-            Symbol::from_msg(a),
-            Symbol::Ack(AckKind::InvAck, ProcId(1))
-        );
+        assert_eq!(Symbol::from_msg(a), Symbol::Ack(AckKind::InvAck, ProcId(1)));
     }
 
     #[test]
@@ -148,7 +212,7 @@ mod tests {
     }
 
     #[test]
-    fn encodings_are_distinct() {
+    fn mixed_is_distinct_across_kinds() {
         let symbols = [
             Symbol::Req(ReqKind::Read, ProcId(1)),
             Symbol::Req(ReqKind::Write, ProcId(1)),
@@ -161,10 +225,28 @@ mod tests {
         for (i, a) in symbols.iter().enumerate() {
             for (j, b) in symbols.iter().enumerate() {
                 if i != j {
-                    assert_ne!(a.encode(), b.encode(), "{a} vs {b}");
+                    assert_ne!(a.mixed(), b.mixed(), "{a} vs {b}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn mixed_keeps_high_reader_bits() {
+        // The full 64-bit reader vector must reach the hash: vectors
+        // differing only in the top processors (P56..P63) are distinct
+        // symbols and must stay distinct in key space.
+        let hi_a = Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(60)]));
+        let hi_b = Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(61)]));
+        let hi_c = Symbol::ReadVec(ReaderSet::single(ProcId(63)));
+        let lo = Symbol::ReadVec(ReaderSet::single(ProcId(1)));
+        assert_ne!(hi_a.mixed(), hi_b.mixed());
+        assert_ne!(hi_c.mixed(), lo.mixed());
+        assert_ne!(
+            HistoryKey::of(&[hi_a]),
+            HistoryKey::of(&[hi_b]),
+            "high reader bits must survive into the table index"
+        );
     }
 
     #[test]
@@ -173,6 +255,48 @@ mod tests {
         let b = Symbol::Req(ReqKind::Read, ProcId(2));
         assert_ne!(HistoryKey::of(&[a, b]), HistoryKey::of(&[b, a]));
         assert_ne!(HistoryKey::of(&[a]), HistoryKey::of(&[a, a]));
+    }
+
+    #[test]
+    fn rolling_shift_matches_batch_hash() {
+        // Sliding a full window by one symbol via the O(1) shift must
+        // agree exactly with re-hashing the slice from scratch.
+        let syms = [
+            Symbol::Req(ReqKind::Upgrade, ProcId(3)),
+            Symbol::Req(ReqKind::Read, ProcId(1)),
+            Symbol::Req(ReqKind::Read, ProcId(2)),
+            Symbol::Ack(AckKind::InvAck, ProcId(1)),
+            Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)])),
+            Symbol::Req(ReqKind::Write, ProcId(0)),
+        ];
+        for depth in 1..=4usize {
+            let pow = HistoryKey::base_pow(depth);
+            let mut window: Vec<Symbol> = syms[..depth].to_vec();
+            let mut key = HistoryKey::of(&window);
+            for &incoming in &syms[depth..] {
+                let outgoing = window.remove(0);
+                window.push(incoming);
+                key = key.shift(outgoing, incoming, pow);
+                assert_eq!(key, HistoryKey::of(&window), "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_contributions_are_distinct_and_nonzero() {
+        let symbols = [
+            Symbol::Req(ReqKind::Read, ProcId(0)), // all-zero raw encoding
+            Symbol::Req(ReqKind::Read, ProcId(1)),
+            Symbol::Req(ReqKind::Write, ProcId(1)),
+            Symbol::Ack(AckKind::Writeback, ProcId(2)),
+            Symbol::ReadVec(ReaderSet::single(ProcId(3))),
+        ];
+        for (i, a) in symbols.iter().enumerate() {
+            assert_ne!(a.mixed(), 0, "{a}");
+            for b in &symbols[i + 1..] {
+                assert_ne!(a.mixed(), b.mixed(), "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

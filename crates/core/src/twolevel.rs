@@ -2,11 +2,21 @@
 //!
 //! Cosmos and MSP differ only in which messages enter the tables; both
 //! delegate to this per-block PAp-style core.
-
-use std::collections::HashMap;
+//!
+//! # Storage layout
+//!
+//! Each block owns a fixed ring-buffer [`History`] register with a
+//! rolling [`HistoryKey`](crate::HistoryKey) and a [`PatternTable`]
+//! keyed by that key, so one observed symbol costs two O(1) keyed map
+//! accesses (predict + learn) and an O(1) ring push — no per-symbol
+//! window re-hash, no window allocation on the steady-state re-learn
+//! path. The block index itself uses the same FxHash-style hasher as
+//! the pattern tables ([`FxHashMap`]) so the first-level lookup does
+//! not become the bottleneck the second level just stopped being.
 
 use specdsm_types::BlockAddr;
 
+use crate::fxhash::FxHashMap;
 use crate::stats::Observation;
 use crate::symbol::Symbol;
 use crate::table::{History, PatternTable};
@@ -16,7 +26,7 @@ use crate::table::{History, PatternTable};
 #[derive(Debug, Clone)]
 pub(crate) struct TwoLevel {
     depth: usize,
-    blocks: HashMap<BlockAddr, BlockState>,
+    blocks: FxHashMap<BlockAddr, BlockState>,
 }
 
 #[derive(Debug, Clone)]
@@ -30,7 +40,7 @@ impl TwoLevel {
         assert!(depth > 0, "history depth must be at least 1");
         TwoLevel {
             depth,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 
@@ -49,7 +59,8 @@ impl TwoLevel {
         });
 
         let obs = if state.history.is_full() {
-            match state.table.predict(state.history.window()) {
+            // Fused predict + last-occurrence learn: one table access.
+            match state.table.predict_and_learn(&state.history, sym) {
                 Some(pred) => Observation::Predicted {
                     correct: pred == sym,
                 },
@@ -59,10 +70,6 @@ impl TwoLevel {
             // Warm-up: the history register is not yet primed.
             Observation::NoPrediction
         };
-
-        if state.history.is_full() {
-            state.table.learn(state.history.window(), sym);
-        }
         state.history.push(sym);
         obs
     }

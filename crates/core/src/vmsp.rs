@@ -1,9 +1,8 @@
 //! VMSP: the Vector Memory Sharing Predictor.
 
-use std::collections::{HashMap, HashSet};
-
 use specdsm_types::{BlockAddr, DirMsg, ProcId, ReaderSet, ReqKind};
 
+use crate::fxhash::FxHashMap;
 use crate::predictor::{PredictorKind, SharingPredictor};
 use crate::stats::{Observation, PredictorStats};
 use crate::storage::{StorageModel, StorageReport};
@@ -54,7 +53,7 @@ use crate::table::{History, PatternTable};
 pub struct Vmsp {
     depth: usize,
     num_procs: usize,
-    blocks: HashMap<BlockAddr, VBlock>,
+    blocks: FxHashMap<BlockAddr, VBlock>,
     stats: PredictorStats,
 }
 
@@ -64,19 +63,29 @@ struct VBlock {
     table: PatternTable,
     /// The read vector currently being accumulated (open read phase).
     open: ReaderSet,
-    /// History keys whose SWI trigger proved premature (paper §4.2:
-    /// "a bit per write in the corresponding pattern table entry").
-    swi_premature: HashSet<HistoryKey>,
 }
 
 /// Handle identifying the pattern-table context in which a speculation
 /// was triggered, so verification feedback can find the entry later.
+///
+/// The carried [`HistoryKey`] is the pattern table's index, so feedback
+/// consumption ([`Vmsp::prune_reader`], [`Vmsp::mark_swi_premature`])
+/// is a direct O(1) lookup — the ticket *is* the reverse index into
+/// the table.
 ///
 /// Returned by [`Vmsp::predicted_readers`] / [`Vmsp::swi_ticket`];
 /// consumed by [`Vmsp::prune_reader`] / [`Vmsp::mark_swi_premature`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpecTicket {
     key: HistoryKey,
+}
+
+impl SpecTicket {
+    /// The pattern-table key captured when speculation triggered.
+    #[must_use]
+    pub fn key(self) -> HistoryKey {
+        self.key
+    }
 }
 
 impl Vmsp {
@@ -92,7 +101,7 @@ impl Vmsp {
         Vmsp {
             depth,
             num_procs,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
             stats: PredictorStats::default(),
         }
     }
@@ -103,7 +112,6 @@ impl Vmsp {
             history: History::new(depth),
             table: PatternTable::new(),
             open: ReaderSet::new(),
-            swi_premature: HashSet::new(),
         })
     }
 
@@ -115,7 +123,7 @@ impl Vmsp {
         if !b.history.is_full() {
             return None;
         }
-        match b.table.peek(b.history.window())?.prediction {
+        match b.table.peek(&b.history)?.prediction {
             Symbol::ReadVec(v) => Some((
                 v,
                 SpecTicket {
@@ -148,10 +156,14 @@ impl Vmsp {
     /// Whether SWI may speculatively invalidate the writable copy of
     /// `block` in its current history context (i.e. no previous
     /// premature invalidation was recorded for this pattern).
+    ///
+    /// Reads the suppression bit stored in the pattern entry itself
+    /// (paper §4.2: "a bit per write in the corresponding pattern
+    /// table entry") through the O(1) keyed lookup.
     #[must_use]
     pub fn swi_allowed(&self, block: BlockAddr) -> bool {
         match self.blocks.get(&block) {
-            Some(b) => !b.swi_premature.contains(&b.history.key()),
+            Some(b) => !b.table.swi_suppressed_key(b.history.key()),
             None => true,
         }
     }
@@ -168,17 +180,16 @@ impl Vmsp {
 
     /// Records that the SWI invalidation taken under `ticket` was
     /// premature (the producer re-accessed the block), suppressing
-    /// future SWI for this pattern.
+    /// future SWI for this pattern. A no-op if the pattern entry has
+    /// since been evicted (its suppression state went with it).
     pub fn mark_swi_premature(&mut self, block: BlockAddr, ticket: SpecTicket) {
-        let b = self.block_mut(block);
-        b.swi_premature.insert(ticket.key);
-        b.table.set_swi_premature(ticket.key);
+        self.block_mut(block).table.set_swi_premature(ticket.key);
     }
 
     /// Commits a symbol: last-occurrence learn + history shift.
     fn commit(b: &mut VBlock, sym: Symbol) {
         if b.history.is_full() {
-            b.table.learn(b.history.window(), sym);
+            b.table.learn(&b.history, sym);
         }
         b.history.push(sym);
     }
@@ -196,7 +207,7 @@ impl SharingPredictor for Vmsp {
                 // follow the current history; order inside the vector is
                 // irrelevant by construction.
                 let obs = if b.history.is_full() {
-                    match b.table.predict(b.history.window()) {
+                    match b.table.predict(&b.history) {
                         Some(Symbol::ReadVec(v)) => Observation::Predicted {
                             correct: v.contains(p),
                         },
@@ -218,8 +229,10 @@ impl SharingPredictor for Vmsp {
                     b.open = ReaderSet::new();
                 }
                 let sym = Symbol::Req(kind, p);
+                // Fused predict + learn + history shift: one table
+                // access for the whole write-side commit.
                 let obs = if b.history.is_full() {
-                    match b.table.predict(b.history.window()) {
+                    match b.table.predict_and_learn(&b.history, sym) {
                         Some(pred) => Observation::Predicted {
                             correct: pred == sym,
                         },
@@ -228,7 +241,7 @@ impl SharingPredictor for Vmsp {
                 } else {
                     Observation::NoPrediction
                 };
-                Self::commit(b, sym);
+                b.history.push(sym);
                 obs
             }
         };
@@ -268,7 +281,11 @@ mod tests {
 
     fn producer_consumer(vmsp: &mut Vmsp, b: BlockAddr, iters: usize, reorder: bool) {
         for i in 0..iters {
-            let (r1, r2) = if reorder && i % 2 == 1 { (2, 1) } else { (1, 2) };
+            let (r1, r2) = if reorder && i % 2 == 1 {
+                (2, 1)
+            } else {
+                (1, 2)
+            };
             vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
             vmsp.observe(b, DirMsg::read(ProcId(r1)));
             vmsp.observe(b, DirMsg::read(ProcId(r2)));

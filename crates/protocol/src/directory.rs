@@ -35,10 +35,7 @@ pub(crate) enum TxnKind {
     /// A write or upgrade collecting invalidation acks / writeback.
     /// `in_place` means the requester keeps its cached copy and gets an
     /// upgrade ack instead of data.
-    WriteLike {
-        requester: ProcId,
-        in_place: bool,
-    },
+    WriteLike { requester: ProcId, in_place: bool },
     /// A speculative (SWI) invalidation of a writable copy.
     Swi {
         owner: ProcId,
@@ -126,9 +123,7 @@ impl Directory {
     /// Sharing state of `block` (`Idle` if never touched).
     #[must_use]
     pub fn state(&self, block: BlockAddr) -> DirState {
-        self.blocks
-            .get(&block)
-            .map_or(DirState::Idle, |b| b.state)
+        self.blocks.get(&block).map_or(DirState::Idle, |b| b.state)
     }
 
     /// Memory version of `block`.

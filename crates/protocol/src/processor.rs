@@ -123,30 +123,28 @@ impl Processor {
                     }
                     continue;
                 }
-                Some(&Op::Read(b)) => {
-                    match self.cache.read(b) {
-                        Some((_version, first_touch)) => {
-                            self.stream.next();
-                            self.stats.reads += 1;
-                            self.stats.read_hits += 1;
-                            if first_touch {
-                                self.stats.spec_read_hits += 1;
-                            }
-                            busy += self.cache_hit_cycles;
-                            self.stats.compute_cycles += self.cache_hit_cycles;
-                            continue;
+                Some(&Op::Read(b)) => match self.cache.read(b) {
+                    Some((_version, first_touch)) => {
+                        self.stream.next();
+                        self.stats.reads += 1;
+                        self.stats.read_hits += 1;
+                        if first_touch {
+                            self.stats.spec_read_hits += 1;
                         }
-                        None => {
-                            if busy > 0 {
-                                return ProcAction::Busy(busy);
-                            }
-                            self.stream.next();
-                            self.stats.reads += 1;
-                            self.stats.read_misses += 1;
-                            return ProcAction::ReadMiss(b);
-                        }
+                        busy += self.cache_hit_cycles;
+                        self.stats.compute_cycles += self.cache_hit_cycles;
+                        continue;
                     }
-                }
+                    None => {
+                        if busy > 0 {
+                            return ProcAction::Busy(busy);
+                        }
+                        self.stream.next();
+                        self.stats.reads += 1;
+                        self.stats.read_misses += 1;
+                        return ProcAction::ReadMiss(b);
+                    }
+                },
                 Some(&Op::Write(b)) => {
                     if self.cache.can_write(b) {
                         self.stream.next();

@@ -1,11 +1,10 @@
 //! Speculation policies, bookkeeping, and statistics.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use specdsm_core::{SpecTicket, SwiTable, Vmsp};
+use specdsm_core::{FxHashMap, SpecTicket, SwiTable, Vmsp};
 use specdsm_types::{BlockAddr, ProcId};
 
 /// Which speculation mechanisms the DSM runs (paper §7.4).
@@ -107,8 +106,10 @@ pub(crate) struct SpecEngine {
     pub vmsp: Vmsp,
     pub swi_tables: Vec<SwiTable>,
     /// Outstanding speculative copies: `(block, receiver)` → how and
-    /// under which pattern context they were sent.
-    pub tickets: HashMap<(BlockAddr, ProcId), (SpecTicket, Trigger)>,
+    /// under which pattern context they were sent. Touched once per
+    /// speculative send and once per invalidation ack, so it uses the
+    /// same fast trusted-key hasher as the predictor tables.
+    pub tickets: FxHashMap<(BlockAddr, ProcId), (SpecTicket, Trigger)>,
     pub stats: SpecStats,
 }
 
@@ -118,7 +119,7 @@ impl SpecEngine {
             policy,
             vmsp: Vmsp::new(depth, num_procs),
             swi_tables: (0..homes).map(|_| SwiTable::new()).collect(),
-            tickets: HashMap::new(),
+            tickets: FxHashMap::default(),
             stats: SpecStats::default(),
         }
     }

@@ -140,7 +140,11 @@ impl LockManager {
             .locks
             .get_mut(&lock)
             .unwrap_or_else(|| panic!("{p} released unknown lock {lock}"));
-        assert_eq!(state.holder, Some(p), "{p} released {lock} it does not hold");
+        assert_eq!(
+            state.holder,
+            Some(p),
+            "{p} released {lock} it does not hold"
+        );
         state.holder = state.queue.pop_front();
         state.holder
     }

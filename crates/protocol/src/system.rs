@@ -429,7 +429,9 @@ impl System {
             }
         }
         match proc.blocked {
-            Blocked::Mem { block: b, since, .. } if b == block => {
+            Blocked::Mem {
+                block: b, since, ..
+            } if b == block => {
                 proc.stats.mem_wait += now.since(since);
                 proc.blocked = Blocked::No;
                 self.queue.schedule(now, Event::Resume(p));
@@ -502,8 +504,15 @@ impl System {
 
     fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, block: BlockAddr, kind: MsgKind) {
         let at = self.net.send(now, src, dst);
-        self.queue
-            .schedule(at, Event::Deliver(Msg { src, dst, block, kind }));
+        self.queue.schedule(
+            at,
+            Event::Deliver(Msg {
+                src,
+                dst,
+                block,
+                kind,
+            }),
+        );
     }
 
     fn deliver(&mut self, now: Cycle, msg: Msg) {
@@ -542,7 +551,14 @@ impl System {
     // Directory side
     // ------------------------------------------------------------------
 
-    fn dir_request(&mut self, now: Cycle, home: NodeId, block: BlockAddr, kind: ReqKind, p: ProcId) {
+    fn dir_request(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        kind: ReqKind,
+        p: ProcId,
+    ) {
         match kind {
             ReqKind::Read => self.dir_reads += 1,
             ReqKind::Write => self.dir_writes += 1,
@@ -570,7 +586,14 @@ impl System {
         self.dir_process(now, home, block, kind, p);
     }
 
-    fn dir_process(&mut self, now: Cycle, home: NodeId, block: BlockAddr, kind: ReqKind, p: ProcId) {
+    fn dir_process(
+        &mut self,
+        now: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        kind: ReqKind,
+        p: ProcId,
+    ) {
         // SWI premature detection. A pending SWI resolves as *success*
         // once any consumption is observed — a demand read from a
         // non-owner, or (for speculatively pushed copies, whose reads
@@ -597,9 +620,7 @@ impl System {
         }
         match kind {
             ReqKind::Read => self.process_read(now, home, block, p),
-            ReqKind::Write | ReqKind::Upgrade => {
-                self.process_write_like(now, home, block, kind, p)
-            }
+            ReqKind::Write | ReqKind::Upgrade => self.process_write_like(now, home, block, kind, p),
         }
     }
 
@@ -633,7 +654,13 @@ impl System {
                 self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
             }
             DirState::Exclusive(owner) if owner != p => {
-                self.send(now, home, owner.node(), block, MsgKind::InvWriteback { swi: false });
+                self.send(
+                    now,
+                    home,
+                    owner.node(),
+                    block,
+                    MsgKind::InvWriteback { swi: false },
+                );
                 self.dirs[home.0].block_mut(block).busy = Some(Txn {
                     kind: TxnKind::Read(p),
                     acks_left: 0,
@@ -681,7 +708,13 @@ impl System {
                 }
             }
             DirState::Exclusive(owner) if owner != p => {
-                self.send(now, home, owner.node(), block, MsgKind::InvWriteback { swi: false });
+                self.send(
+                    now,
+                    home,
+                    owner.node(),
+                    block,
+                    MsgKind::InvWriteback { swi: false },
+                );
                 self.dirs[home.0].block_mut(block).busy = Some(Txn {
                     kind: TxnKind::WriteLike {
                         requester: p,
@@ -844,7 +877,13 @@ impl System {
                     blk.state = DirState::Shared(ReaderSet::single(requester));
                     blk.version
                 };
-                self.send(t, home, requester.node(), block, MsgKind::DataShared { version });
+                self.send(
+                    t,
+                    home,
+                    requester.node(),
+                    block,
+                    MsgKind::DataShared { version },
+                );
                 let spec_t = self.fr_speculate(t, home, block);
                 self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
             }
@@ -966,7 +1005,13 @@ impl System {
             return;
         }
         let ticket = self.spec.vmsp.swi_ticket(prev);
-        self.send(now, home, owner.node(), prev, MsgKind::InvWriteback { swi: true });
+        self.send(
+            now,
+            home,
+            owner.node(),
+            prev,
+            MsgKind::InvWriteback { swi: true },
+        );
         self.dirs[home.0].block_mut(prev).busy = Some(Txn {
             kind: TxnKind::Swi { owner, ticket },
             acks_left: 0,
@@ -1040,9 +1085,15 @@ mod tests {
             max_cycles: Some(50_000_000),
             ..SystemConfig::default()
         };
-        System::new(cfg, &Script { name: "script", ops })
-            .expect("valid system")
-            .run()
+        System::new(
+            cfg,
+            &Script {
+                name: "script",
+                ops,
+            },
+        )
+        .expect("valid system")
+        .run()
     }
 
     /// Block homed on node `h` (first page of that home).
@@ -1067,7 +1118,11 @@ mod tests {
     #[test]
     fn local_clean_read_costs_104() {
         let b = homed(0);
-        let stats = run_script(4, SpecPolicy::Base, vec![vec![Op::Read(b)], vec![], vec![], vec![]]);
+        let stats = run_script(
+            4,
+            SpecPolicy::Base,
+            vec![vec![Op::Read(b)], vec![], vec![], vec![]],
+        );
         assert_eq!(stats.per_proc[0].mem_wait, 104);
     }
 
@@ -1186,11 +1241,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadlock")]
     fn mismatched_barriers_deadlock() {
-        let _ = run_script(
-            2,
-            SpecPolicy::Base,
-            vec![vec![Op::Barrier], vec![]],
-        );
+        let _ = run_script(2, SpecPolicy::Base, vec![vec![Op::Barrier], vec![]]);
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl Xorshift64Star {
     /// fixed non-zero constant (xorshift has an all-zero fixed point).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
         Xorshift64Star { state }
     }
 

@@ -260,7 +260,10 @@ mod tests {
 
         let mut m = MachineConfig::paper_machine();
         m.num_nodes = MAX_PROCS + 1;
-        assert!(matches!(m.validate(), Err(ConfigError::TooManyNodes { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(ConfigError::TooManyNodes { .. })
+        ));
 
         let mut m = MachineConfig::paper_machine();
         m.page_blocks = 0;

@@ -202,10 +202,7 @@ mod tests {
         // "<ack, P1>".
         assert_eq!(DirMsg::upgrade(ProcId(3)).to_string(), "<Upgrade, P3>");
         assert_eq!(DirMsg::ack_inv(ProcId(1)).to_string(), "<ack, P1>");
-        assert_eq!(
-            DirMsg::writeback(ProcId(3)).to_string(),
-            "<writeback, P3>"
-        );
+        assert_eq!(DirMsg::writeback(ProcId(3)).to_string(), "<writeback, P3>");
     }
 
     #[test]

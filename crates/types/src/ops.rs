@@ -122,8 +122,16 @@ mod tests {
     #[test]
     fn rebuilding_streams_is_deterministic() {
         let w = TwoProcPingPong;
-        let a: Vec<Vec<Op>> = w.build_streams().into_iter().map(Iterator::collect).collect();
-        let b: Vec<Vec<Op>> = w.build_streams().into_iter().map(Iterator::collect).collect();
+        let a: Vec<Vec<Op>> = w
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        let b: Vec<Vec<Op>> = w
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -141,7 +141,14 @@ impl Barnes {
     }
 
     /// The owner of `cell` in `iter` (stateless churn).
-    fn owner(tree: &Tree, jitter: &Jitter, params: &BarnesParams, n: usize, cell: usize, iter: usize) -> usize {
+    fn owner(
+        tree: &Tree,
+        jitter: &Jitter,
+        params: &BarnesParams,
+        n: usize,
+        cell: usize,
+        iter: usize,
+    ) -> usize {
         if jitter.chance(params.owner_churn, &[cell as u64, iter as u64, 10]) {
             jitter.pick(n as u64, &[cell as u64, iter as u64, 11]) as usize
         } else {

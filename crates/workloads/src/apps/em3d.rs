@@ -122,10 +122,10 @@ impl Em3d {
         .into_iter()
         .enumerate()
         {
-            for q in 0..n {
+            for (q, own_q) in own.iter_mut().enumerate().take(n) {
                 let region = space.alloc_on(NodeId(q), shared_per_proc);
                 for (i, block) in region.iter().enumerate() {
-                    own[q].push(block);
+                    own_q.push(block);
                     // Small read-sharing degree: two consumers, with an
                     // occasional third ("em3d exhibits producer/consumer
                     // sharing with a small read-sharing degree"). The
@@ -299,8 +299,16 @@ mod tests {
     #[test]
     fn deterministic_rebuild() {
         let app = quick();
-        let a: Vec<Vec<Op>> = app.build_streams().into_iter().map(Iterator::collect).collect();
-        let b: Vec<Vec<Op>> = app.build_streams().into_iter().map(Iterator::collect).collect();
+        let a: Vec<Vec<Op>> = app
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        let b: Vec<Vec<Op>> = app
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -314,8 +314,16 @@ mod tests {
     #[test]
     fn deterministic_rebuild() {
         let app = quick();
-        let a: Vec<Vec<Op>> = app.build_streams().into_iter().map(Iterator::collect).collect();
-        let b: Vec<Vec<Op>> = app.build_streams().into_iter().map(Iterator::collect).collect();
+        let a: Vec<Vec<Op>> = app
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        let b: Vec<Vec<Op>> = app
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -141,11 +141,7 @@ impl Workload for Tomcatv {
                         }
                     }
                     // Interior stencil work.
-                    ops.push(Op::Compute(jitter.stretch(
-                        compute,
-                        0.05,
-                        &[p as u64, it],
-                    )));
+                    ops.push(Op::Compute(jitter.stretch(compute, 0.05, &[p as u64, it])));
                     // Producer re-read: the stencil reads its own old
                     // boundary values *late* in the phase, after the
                     // consumer's read has already stolen the writable

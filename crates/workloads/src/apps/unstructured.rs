@@ -108,8 +108,10 @@ impl Unstructured {
         let mut readers = std::collections::HashMap::new();
         let degree = params.read_degree.min(n - 1);
         for q in 0..n {
-            let blocks: Vec<BlockAddr> =
-                space.alloc_on(NodeId(q), params.mesh_blocks).iter().collect();
+            let blocks: Vec<BlockAddr> = space
+                .alloc_on(NodeId(q), params.mesh_blocks)
+                .iter()
+                .collect();
             for (i, &b) in blocks.iter().enumerate() {
                 // A static wide reader set: `degree` distinct procs ≠ q,
                 // drawn from a rotated window with one random swap so
@@ -162,7 +164,7 @@ impl Unstructured {
     /// contribution is zero every other visit — paper §7.1).
     #[must_use]
     pub fn participates(p: usize, iter: usize) -> bool {
-        p % 2 == 0 || iter % 2 == p / 2 % 2
+        p.is_multiple_of(2) || iter % 2 == p / 2 % 2
     }
 }
 
@@ -212,7 +214,9 @@ impl Workload for Unstructured {
                     if Unstructured::participates(p, iter) {
                         // Participants walk the reduction blocks in
                         // processor order, staggered deterministically.
-                        let pos = (0..p).filter(|&q| Unstructured::participates(q, iter)).count();
+                        let pos = (0..p)
+                            .filter(|&q| Unstructured::participates(q, iter))
+                            .count();
                         ops.push(Op::Compute(1_500 * (pos as u64 + 1)));
                         for &b in &topo.reduction {
                             ops.push(Op::Read(b));
@@ -307,8 +311,16 @@ mod tests {
     #[test]
     fn deterministic_rebuild() {
         let app = quick();
-        let a: Vec<Vec<Op>> = app.build_streams().into_iter().map(Iterator::collect).collect();
-        let b: Vec<Vec<Op>> = app.build_streams().into_iter().map(Iterator::collect).collect();
+        let a: Vec<Vec<Op>> = app
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        let b: Vec<Vec<Op>> = app
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
         assert_eq!(a, b);
     }
 }

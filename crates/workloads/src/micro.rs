@@ -86,7 +86,8 @@ impl Workload for ProducerConsumer {
         (0..self.num_procs())
             .map(|p| {
                 let blocks = Arc::clone(&self.blocks);
-                let (consumers, compute, amp) = (self.consumers, self.compute, self.jitter_amplitude);
+                let (consumers, compute, amp) =
+                    (self.consumers, self.compute, self.jitter_amplitude);
                 PhasedStream::new(self.iters, move |iter| {
                     let mut ops = Vec::new();
                     if p == 0 {
@@ -251,10 +252,7 @@ impl Workload for WideSharing {
                         // Every consumer reads every block; the start
                         // offset is re-drawn each iteration, so arrival
                         // order at the directory churns.
-                        ops.push(Op::Compute(jitter.pick(
-                            3_000,
-                            &[p as u64, iter as u64],
-                        )));
+                        ops.push(Op::Compute(jitter.pick(3_000, &[p as u64, iter as u64])));
                         for b in blocks.iter() {
                             ops.push(Op::Read(b));
                         }
@@ -294,8 +292,16 @@ mod tests {
     fn streams_rebuild_identically() {
         let m = MachineConfig::with_nodes(4);
         let pc = ProducerConsumer::new(m, 4, 2, 3);
-        let a: Vec<Vec<Op>> = pc.build_streams().into_iter().map(Iterator::collect).collect();
-        let b: Vec<Vec<Op>> = pc.build_streams().into_iter().map(Iterator::collect).collect();
+        let a: Vec<Vec<Op>> = pc
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
+        let b: Vec<Vec<Op>> = pc
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -303,7 +309,11 @@ mod tests {
     fn migratory_chain_orders_accesses() {
         let m = MachineConfig::with_nodes(4);
         let mig = Migratory::new(m, 2, 3, 2);
-        let streams: Vec<Vec<Op>> = mig.build_streams().into_iter().map(Iterator::collect).collect();
+        let streams: Vec<Vec<Op>> = mig
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
         // Member 0 accesses before its first barrier; member 2 only in
         // the last turn of each iteration.
         assert!(matches!(streams[0][0], Op::Read(_)));
@@ -327,7 +337,11 @@ mod tests {
     fn wide_sharing_read_volume() {
         let m = MachineConfig::with_nodes(4);
         let w = WideSharing::new(m, 6, 3);
-        let streams: Vec<Vec<Op>> = w.build_streams().into_iter().map(Iterator::collect).collect();
+        let streams: Vec<Vec<Op>> = w
+            .build_streams()
+            .into_iter()
+            .map(Iterator::collect)
+            .collect();
         let reads = |ops: &[Op]| ops.iter().filter(|o| matches!(o, Op::Read(_))).count();
         assert_eq!(reads(&streams[0]), 0);
         assert_eq!(reads(&streams[1]), 6 * 3);

@@ -180,7 +180,15 @@ mod tests {
         let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            vec!["appbt", "barnes", "em3d", "moldyn", "ocean", "tomcatv", "unstructured"]
+            vec![
+                "appbt",
+                "barnes",
+                "em3d",
+                "moldyn",
+                "ocean",
+                "tomcatv",
+                "unstructured"
+            ]
         );
     }
 

@@ -28,10 +28,8 @@ fn main() {
         ]
     };
 
-    let mut predictors: Vec<Box<dyn SharingPredictor>> = PredictorKind::ALL
-        .iter()
-        .map(|k| k.build(1, 16))
-        .collect();
+    let mut predictors: Vec<Box<dyn SharingPredictor>> =
+        PredictorKind::ALL.iter().map(|k| k.build(1, 16)).collect();
 
     for iter in 0..40 {
         for msg in phase(iter % 2 == 1) {

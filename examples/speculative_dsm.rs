@@ -15,7 +15,9 @@ fn run(policy: SpecPolicy, w: &dyn Workload) -> RunStats {
         policy,
         ..SystemConfig::default()
     };
-    System::new(cfg, w).expect("workload fits the machine").run()
+    System::new(cfg, w)
+        .expect("workload fits the machine")
+        .run()
 }
 
 fn report(name: &str, w: &dyn Workload) {

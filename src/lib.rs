@@ -55,9 +55,7 @@ pub use specdsm_workloads as workloads;
 /// Convenience prelude re-exporting the items most programs need.
 pub mod prelude {
     pub use specdsm_analytic::ModelParams;
-    pub use specdsm_core::{
-        Cosmos, DirectoryTrace, Msp, PredictorKind, SharingPredictor, Vmsp,
-    };
+    pub use specdsm_core::{Cosmos, DirectoryTrace, Msp, PredictorKind, SharingPredictor, Vmsp};
     pub use specdsm_protocol::{RunStats, SpecPolicy, System, SystemConfig};
     pub use specdsm_types::{
         BlockAddr, DirMsg, MachineConfig, NodeId, Op, OpStream, ProcId, ReaderSet, ReqKind,

@@ -143,10 +143,7 @@ fn speculation_is_never_catastrophic() {
         let base = run(machine.clone(), SpecPolicy::Base, w.as_ref()).exec_cycles as f64;
         for policy in [SpecPolicy::FirstRead, SpecPolicy::SwiFr] {
             let exec = run(machine.clone(), policy, w.as_ref()).exec_cycles as f64;
-            assert!(
-                exec <= base * 1.15,
-                "{app}/{policy}: {exec} vs base {base}"
-            );
+            assert!(exec <= base * 1.15, "{app}/{policy}: {exec} vs base {base}");
         }
     }
 }

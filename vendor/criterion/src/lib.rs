@@ -1,0 +1,393 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this crate provides
+//! a small, dependency-free benchmark harness with the subset of the
+//! criterion API the workspace uses: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros, and [`Bencher::iter`].
+//!
+//! Measurements are real: each benchmark is warmed up, then timed over
+//! adaptively sized batches until a target measurement window is
+//! reached, and the per-iteration time (plus element throughput, when
+//! declared) is printed in a criterion-like one-line format. Results
+//! are also exposed programmatically via [`Criterion::take_results`]
+//! for harnesses (e.g. `perf_snapshot`) that want machine-readable
+//! numbers without re-implementing the measurement loop.
+//!
+//! Benchmark name filters passed on the command line (`cargo bench --
+//! <substr>`) are honoured as simple substring matches.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub use std::hint::black_box;
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `"{function}/{parameter}"`.
+    pub fn new(function: impl ToString, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function.to_string(), parameter.to_string()),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl ToString) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark path (`group/function/parameter`).
+    pub name: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+    /// Iterations actually measured.
+    pub iterations: u64,
+}
+
+impl BenchResult {
+    /// Elements processed per second, when element throughput was
+    /// declared for the benchmark.
+    #[must_use]
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) if self.ns_per_iter > 0.0 => {
+                Some(n as f64 * 1e9 / self.ns_per_iter)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Passed to the measured closure; runs and times the routine.
+pub struct Bencher<'a> {
+    measurement: &'a mut Measurement,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, warming up first and then timing adaptively
+    /// sized batches until the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one call, up to ~1/10 of the window.
+        let warmup_budget = self.measurement.window / 10;
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine());
+            self.measurement.warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget || self.measurement.warmup_iters >= 100 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / self.measurement.warmup_iters.max(1) as u32;
+
+        // Batch size so one batch is ~1/20 of the window.
+        let batch = if per_iter.is_zero() {
+            1024
+        } else {
+            ((self.measurement.window.as_nanos() / 20).saturating_div(per_iter.as_nanos().max(1)))
+                .clamp(1, 1 << 24) as u64
+        };
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement.window {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.measurement.elapsed = total;
+        self.measurement.iters = iters;
+    }
+}
+
+#[derive(Debug)]
+struct Measurement {
+    window: Duration,
+    warmup_iters: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    window: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            filter,
+            window: Duration::from_millis(400),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: impl ToString,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(name.to_string(), None, f);
+        self
+    }
+
+    /// Drains the results collected so far (for programmatic harnesses).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut m = Measurement {
+            window: self.window,
+            warmup_iters: 0,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut Bencher {
+            measurement: &mut m,
+        });
+        let ns_per_iter = if m.iters == 0 {
+            0.0
+        } else {
+            m.elapsed.as_nanos() as f64 / m.iters as f64
+        };
+        let result = BenchResult {
+            name,
+            ns_per_iter,
+            throughput,
+            iterations: m.iters,
+        };
+        report(&result);
+        self.results.push(result);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the adaptive harness does
+    /// not use a fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input`, under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.full);
+        let throughput = self.throughput;
+        self.criterion.run_one(name, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().full);
+        let throughput = self.throughput;
+        self.criterion.run_one(name, throughput, f);
+        self
+    }
+
+    /// Ends the group (a no-op in this harness; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion into a [`BenchmarkId`], so group benchmark functions
+/// accept both ids and plain strings.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId::from_parameter(self)
+    }
+}
+
+fn report(r: &BenchResult) {
+    let time = human_time(r.ns_per_iter);
+    match r.elements_per_sec() {
+        Some(eps) => println!(
+            "{:<56} time: {:>12}   thrpt: {:>14}",
+            r.name,
+            time,
+            human_rate(eps)
+        ),
+        None => println!("{:<56} time: {:>12}", r.name, time),
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(eps: f64) -> String {
+    if eps >= 1e9 {
+        format!("{:.3} Gelem/s", eps / 1e9)
+    } else if eps >= 1e6 {
+        format!("{:.3} Melem/s", eps / 1e6)
+    } else if eps >= 1e3 {
+        format!("{:.3} Kelem/s", eps / 1e3)
+    } else {
+        format!("{eps:.1} elem/s")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        c.filter = None;
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].iterations > 0);
+        assert!(results[0].ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn group_names_compose_and_throughput_reported() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        c.filter = None;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(100));
+            g.bench_with_input(BenchmarkId::new("f", "p"), &3u64, |b, &x| {
+                b.iter(|| black_box(x) * 2)
+            });
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results[0].name, "grp/f/p");
+        assert!(results[0].elements_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.filter = Some("nomatch".to_string());
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert!(c.take_results().is_empty());
+    }
+}

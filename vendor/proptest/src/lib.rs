@@ -1,0 +1,146 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A small, dependency-free property-testing harness with the subset of
+//! the proptest API this workspace uses: the [`proptest!`] macro (with
+//! optional `#![proptest_config(...)]`), [`prop_assert!`] /
+//! [`prop_assert_eq!`], range and tuple strategies, [`collection::vec`],
+//! `prop_map`, and [`arbitrary::any`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * Generation is **deterministic**: every test derives its RNG seed
+//!   from the test's name, so failures reproduce exactly across runs
+//!   and machines (no persistence files needed).
+//! * There is **no shrinking**; a failing case panics with the plain
+//!   assertion message. Inputs here are small enough to read directly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Property assertion; stands in for proptest's error-returning form by
+/// panicking directly (there is no shrinking phase to unwind into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality property assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` block
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let x = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let g = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = crate::collection::vec(0u64..10, 4..=4).generate(&mut rng);
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = TestRng::for_test("map");
+        let strat = (0usize..4, 10u64..20).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..100 {
+            let x = strat.clone().generate(&mut rng);
+            assert!((10..24).contains(&x));
+        }
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let a: Vec<u64> = (0..10)
+            .map(|_| ())
+            .scan(TestRng::for_test("t"), |rng, ()| {
+                Some(any::<u64>().generate(rng))
+            })
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|_| ())
+            .scan(TestRng::for_test("t"), |rng, ()| {
+                Some(any::<u64>().generate(rng))
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(x in 0usize..10, y in 0usize..10,) {
+            prop_assert!(x < 10 && y < 10);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(bits in any::<u64>()) {
+            prop_assert_eq!(bits.count_ones() + bits.count_zeros(), 64);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names plus the inert
+//! derive macros from the sibling `serde_derive` stand-in, so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without network access. Nothing in the workspace currently invokes
+//! serialization at runtime; swapping in the real crates requires no
+//! source changes outside `vendor/`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real serde
+//! derive macros are replaced by inert ones: they accept the same
+//! syntax (including `#[serde(...)]` helper attributes) and expand to
+//! nothing. No code in this workspace serializes at runtime yet; the
+//! derives exist so the annotated types keep their public API
+//! signature and can switch to the real serde without source changes.
+
+use proc_macro::TokenStream;
+
+/// Inert `#[derive(Serialize)]`: accepted and discarded.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert `#[derive(Deserialize)]`: accepted and discarded.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
