@@ -1,8 +1,14 @@
 //! Criterion benches: whole-application simulations (quick scale), one
 //! per paper application and system — the machinery behind Figure 9 /
 //! Table 5.
+//!
+//! Each benchmark reports throughput in *simulation events per second*
+//! (`RunStats::sim_events` over wall time), the engine-level metric the
+//! calendar-queue scheduler and dense directory tables optimize; the
+//! default-scale trajectory lives in `BENCH_protocol.json` (see the
+//! `perf_snapshot` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use specdsm_protocol::{SpecPolicy, System, SystemConfig};
 use specdsm_types::MachineConfig;
 use specdsm_workloads::{AppId, Scale};
@@ -13,19 +19,25 @@ fn bench_apps(c: &mut Criterion) {
     group.sample_size(10);
     for app in AppId::ALL {
         for policy in SpecPolicy::ALL {
+            let w = app.build(&machine, Scale::Quick);
+            let cfg = SystemConfig {
+                machine: machine.clone(),
+                policy,
+                ..SystemConfig::default()
+            };
+            // Event count is deterministic per (app, policy); one probe
+            // run turns wall time into events/second.
+            let events = System::new(cfg.clone(), w.as_ref())
+                .expect("valid")
+                .run()
+                .sim_events;
+            group.throughput(Throughput::Elements(events));
             group.bench_with_input(
                 BenchmarkId::new(app.to_string(), policy.to_string()),
-                &(app, policy),
-                |b, &(a, p)| {
-                    let w = a.build(&machine, Scale::Quick);
-                    let mcfg = machine.clone();
+                &cfg,
+                |b, cfg| {
                     b.iter(|| {
-                        let cfg = SystemConfig {
-                            machine: mcfg.clone(),
-                            policy: p,
-                            ..SystemConfig::default()
-                        };
-                        System::new(cfg, w.as_ref())
+                        System::new(cfg.clone(), w.as_ref())
                             .expect("valid")
                             .run()
                             .exec_cycles

@@ -1,12 +1,21 @@
-//! `perf_snapshot` — machine-readable predictor performance snapshot.
+//! `perf_snapshot` — machine-readable performance snapshot.
 //!
-//! Runs the predictor-throughput micro-measurements (the same stream
-//! shape as `benches/predictors.rs`) plus the speculation-feedback
-//! path, and writes the results as JSON so successive PRs can track
-//! the perf trajectory without parsing bench logs.
+//! Two sections, two JSON files, so successive PRs can track the perf
+//! trajectory without parsing bench logs:
+//!
+//! * **Predictors** (`BENCH_predictors.json`): predictor-throughput
+//!   micro-measurements (the same stream shape as
+//!   `benches/predictors.rs`) plus the speculation-feedback path.
+//! * **Protocol** (`BENCH_protocol.json`): end-to-end whole-machine
+//!   simulations of the paper's application suite (default scale, 16
+//!   nodes) under all three system policies — wall time, simulation
+//!   events processed, and events/second — alongside the recorded
+//!   seed baseline (BinaryHeap event queue + per-home `HashMap`
+//!   directories) so the speedup is visible in one file.
 //!
 //! ```text
-//! perf_snapshot [--out FILE]      (default: BENCH_predictors.json)
+//! perf_snapshot [--out FILE] [--protocol-out FILE] [--skip-protocol]
+//!     (defaults: BENCH_predictors.json, BENCH_protocol.json)
 //! ```
 
 use std::fmt::Write as _;
@@ -14,7 +23,9 @@ use std::time::{Duration, Instant};
 
 use specdsm_bench::producer_consumer_stream;
 use specdsm_core::{History, PatternTable, PredictorKind, Symbol};
-use specdsm_types::{ProcId, ReaderSet, ReqKind};
+use specdsm_protocol::{SpecPolicy, System, SystemConfig};
+use specdsm_types::{MachineConfig, ProcId, ReaderSet, ReqKind};
+use specdsm_workloads::{AppId, Scale};
 
 /// Times `routine` adaptively: warm up, then run batches until the
 /// window fills. Returns mean ns per call.
@@ -133,6 +144,140 @@ fn feedback_rows(window: Duration) -> Vec<FeedbackRow> {
     rows
 }
 
+struct ProtoRow {
+    app: String,
+    policy: String,
+    wall_ms: f64,
+    sim_events: u64,
+    exec_cycles: u64,
+}
+
+/// Seed-state reference: the same suite, measured on this container at
+/// the commit *before* the calendar-queue + dense-directory rework
+/// (`BinaryHeap<Reverse<Entry>>` scheduler, `HashMap<BlockAddr,
+/// DirBlock>` per home, SipHash caches, no LTO). Wall-clock numbers are
+/// machine-dependent; the point of keeping them next to the live
+/// measurement is the *ratio* on identical hardware.
+const SEED_BASELINE_NOTE: &str =
+    "seed = pre-calendar-queue engine (BinaryHeap scheduler, HashMap directories), \
+     same container, best of 3 suite passes";
+const SEED_SUITE_WALL_MS: f64 = 2256.0;
+const SEED_PER_RUN_WALL_MS: [(&str, f64); 21] = [
+    ("appbt/Base-DSM", 57.0),
+    ("appbt/FR-DSM", 62.0),
+    ("appbt/SWI-DSM", 66.0),
+    ("barnes/Base-DSM", 41.0),
+    ("barnes/FR-DSM", 47.0),
+    ("barnes/SWI-DSM", 52.0),
+    ("em3d/Base-DSM", 141.0),
+    ("em3d/FR-DSM", 164.0),
+    ("em3d/SWI-DSM", 174.0),
+    ("moldyn/Base-DSM", 83.0),
+    ("moldyn/FR-DSM", 97.0),
+    ("moldyn/SWI-DSM", 94.0),
+    ("ocean/Base-DSM", 17.0),
+    ("ocean/FR-DSM", 18.0),
+    ("ocean/SWI-DSM", 18.0),
+    ("tomcatv/Base-DSM", 34.0),
+    ("tomcatv/FR-DSM", 34.0),
+    ("tomcatv/SWI-DSM", 49.0),
+    ("unstructured/Base-DSM", 273.0),
+    ("unstructured/FR-DSM", 331.0),
+    ("unstructured/SWI-DSM", 383.0),
+];
+
+/// Runs the full application suite end to end (default scale, paper
+/// machine) once per policy and records per-run wall time and event
+/// throughput. One untimed warm-up run precedes the measurements.
+fn protocol_rows() -> Vec<ProtoRow> {
+    let machine = MachineConfig::paper_machine();
+    // Warm-up: populate allocator arenas and branch predictors.
+    {
+        let w = AppId::Ocean.build(&machine, Scale::Default);
+        let cfg = SystemConfig {
+            machine: machine.clone(),
+            ..SystemConfig::default()
+        };
+        let _ = System::new(cfg, w.as_ref()).expect("valid").run();
+    }
+    let mut rows = Vec::new();
+    for app in AppId::ALL {
+        let w = app.build(&machine, Scale::Default);
+        for policy in SpecPolicy::ALL {
+            let cfg = SystemConfig {
+                machine: machine.clone(),
+                policy,
+                ..SystemConfig::default()
+            };
+            let sys = System::new(cfg, w.as_ref()).expect("valid");
+            let start = Instant::now();
+            let stats = sys.run();
+            let wall = start.elapsed();
+            rows.push(ProtoRow {
+                app: app.to_string(),
+                policy: policy.to_string(),
+                wall_ms: wall.as_secs_f64() * 1e3,
+                sim_events: stats.sim_events,
+                exec_cycles: stats.exec_cycles,
+            });
+        }
+    }
+    rows
+}
+
+fn render_protocol_json(rows: &[ProtoRow]) -> String {
+    let suite_wall_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
+    let total_events: u64 = rows.iter().map(|r| r.sim_events).sum();
+    let events_per_sec = total_events as f64 / (suite_wall_ms / 1e3);
+    let speedup = SEED_SUITE_WALL_MS / suite_wall_ms;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"protocol_end_to_end\",\n");
+    out.push_str("  \"scale\": \"Default\",\n");
+    out.push_str("  \"machine_nodes\": 16,\n");
+    let _ = writeln!(
+        out,
+        "  \"suite\": {{\"wall_ms\": {suite_wall_ms:.1}, \"sim_events\": {total_events}, \
+         \"events_per_sec\": {events_per_sec:.0}}},"
+    );
+    // Wall-clock ratio against the recorded seed measurement. Only
+    // meaningful where the baseline was taken — on a different host it
+    // mostly measures the hardware, hence the explicit key name.
+    let _ = writeln!(
+        out,
+        "  \"wall_speedup_vs_seed_same_host_only\": {speedup:.2},"
+    );
+    out.push_str("  \"per_run\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let eps = r.sim_events as f64 / (r.wall_ms / 1e3);
+        let _ = writeln!(
+            out,
+            "    {{\"app\": \"{}\", \"policy\": \"{}\", \"wall_ms\": {:.1}, \
+             \"sim_events\": {}, \"events_per_sec\": {:.0}, \"exec_cycles\": {}}}{comma}",
+            r.app, r.policy, r.wall_ms, r.sim_events, eps, r.exec_cycles
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"baseline_seed\": {\n");
+    let _ = writeln!(out, "    \"note\": \"{SEED_BASELINE_NOTE}\",");
+    let _ = writeln!(out, "    \"suite_wall_ms\": {SEED_SUITE_WALL_MS:.1},");
+    out.push_str("    \"per_run_wall_ms\": {\n");
+    for (i, (key, ms)) in SEED_PER_RUN_WALL_MS.iter().enumerate() {
+        let comma = if i + 1 == SEED_PER_RUN_WALL_MS.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(out, "      \"{key}\": {ms:.1}{comma}");
+    }
+    out.push_str("    }\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
 fn render_json(observe: &[ObserveRow], feedback: &[FeedbackRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -165,6 +310,8 @@ fn render_json(observe: &[ObserveRow], feedback: &[FeedbackRow]) -> String {
 
 fn main() {
     let mut out_path = String::from("BENCH_predictors.json");
+    let mut protocol_out_path = String::from("BENCH_protocol.json");
+    let mut skip_protocol = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -174,8 +321,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--protocol-out" => {
+                protocol_out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--protocol-out needs a file path");
+                    std::process::exit(2);
+                });
+            }
+            "--skip-protocol" => skip_protocol = true,
             "--help" | "-h" => {
-                println!("usage: perf_snapshot [--out FILE]");
+                println!(
+                    "usage: perf_snapshot [--out FILE] [--protocol-out FILE] [--skip-protocol]"
+                );
                 return;
             }
             other => {
@@ -198,4 +354,17 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out_path}");
+
+    if skip_protocol {
+        return;
+    }
+    eprintln!("running end-to-end suite (7 apps x 3 policies, default scale)...");
+    let rows = protocol_rows();
+    let json = render_protocol_json(&rows);
+    print!("{json}");
+    if let Err(e) = std::fs::write(&protocol_out_path, &json) {
+        eprintln!("cannot write {protocol_out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {protocol_out_path}");
 }

@@ -23,6 +23,11 @@
 //! [`PredictorStats`] and storage via [`StorageReport`] (the byte
 //! formulas of the paper's Table 4).
 //!
+//! Where this crate sits in the full simulator — predictors observe
+//! the directory request stream and feed the FR/SWI speculation
+//! triggers — is documented in `docs/ARCHITECTURE.md` at the
+//! repository root (see "The message lifecycle").
+//!
 //! The crate also hosts the decision logic of the speculative DSM:
 //! [`SwiTable`] (the Speculative Write-Invalidation early-write-invalidate
 //! table, one entry per processor) and the VMSP speculation hooks

@@ -117,7 +117,7 @@ impl fmt::Display for Symbol {
 ///
 /// with `B` an odd constant. Because multiplication by an odd constant
 /// is invertible modulo 2^64, appending a symbol ([`HistoryKey::push`])
-/// and retiring the oldest one ([`HistoryKey::shift`]) are exact O(1)
+/// and retiring the oldest one (the crate-internal `shift`) are exact O(1)
 /// updates — a full [`History`](crate::History) register maintains its
 /// key incrementally instead of re-hashing the window on every access.
 ///

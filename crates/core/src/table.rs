@@ -78,7 +78,8 @@ struct KeyedEntry {
 /// A per-block pattern table keyed by the history window's
 /// [`HistoryKey`].
 ///
-/// See the [module docs](self) for the storage layout. All operations
+/// See the `table` module source docs for the storage layout. All
+/// operations
 /// are O(1): lookups and learns index by the history's rolling key;
 /// speculation feedback (`set_swi_premature`, `prune_reader`) indexes
 /// by the key captured in the protocol's ticket.

@@ -1,7 +1,6 @@
 //! Per-processor caches.
 
-use std::collections::HashMap;
-
+use specdsm_core::FxHashMap;
 use specdsm_types::BlockAddr;
 
 /// State of one cached block.
@@ -43,7 +42,10 @@ struct Line {
 /// machinery is needed.
 #[derive(Debug, Clone, Default)]
 pub struct Cache {
-    lines: HashMap<BlockAddr, Line>,
+    // Keyed through the trusted-input FxHash hasher: the cache is
+    // probed on *every* processor memory operation (hits included), so
+    // SipHash would tax the simulator's hottest loop.
+    lines: FxHashMap<BlockAddr, Line>,
     capacity: Option<usize>,
     clock: u64,
     evictions: u64,

@@ -16,6 +16,12 @@
 //! flight. The base protocol is unmodified — speculation only *advises*
 //! it to execute existing coherence operations early.
 //!
+//! The full message lifecycle (processor → network → directory →
+//! speculation engine → predictor feedback), and the design rationale
+//! for the dense directory block tables and the calendar-queue
+//! scheduler underneath them, are documented in `docs/ARCHITECTURE.md`
+//! at the repository root.
+//!
 //! # Example
 //!
 //! ```
@@ -63,7 +69,7 @@ mod system;
 pub use cache::{Cache, LineState};
 pub use directory::{DirState, Directory};
 pub use msg::{Msg, MsgKind};
-pub use network::Network;
+pub use network::{DeliveryBatch, Network};
 pub use processor::Processor;
 pub use spec::{SpecPolicy, SpecStats};
 pub use stats::{ProcStats, RunStats};

@@ -63,6 +63,12 @@ pub enum MsgKind {
     /// receiver installs it with the reference bit set, or drops it if
     /// it has a demand request in flight for the block (the race rule,
     /// paper §4.2).
+    ///
+    /// One FR/SWI trigger fans a single `SpecData` payload out to every
+    /// predicted reader via
+    /// [`Network::multicast`](crate::Network::multicast), which batches
+    /// the per-destination deliveries instead of re-materializing the
+    /// message per destination.
     SpecData {
         /// Write version of the delivered data.
         version: u64,

@@ -1,7 +1,50 @@
 //! The point-to-point network with NI contention.
 
 use specdsm_sim::{Cycle, FifoResource};
-use specdsm_types::{LatencyConfig, NodeId};
+use specdsm_types::{LatencyConfig, NodeId, MAX_PROCS};
+
+/// Per-destination delivery times of one multicast, stored inline
+/// (no heap allocation — at most one slot per possible node).
+///
+/// Produced by [`Network::multicast`]; the protocol engine turns each
+/// `(destination, delivery cycle)` pair into one `Deliver` event while
+/// constructing the message payload only once.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryBatch {
+    slots: [(NodeId, Cycle); MAX_PROCS],
+    len: usize,
+}
+
+impl DeliveryBatch {
+    fn new() -> Self {
+        DeliveryBatch {
+            slots: [(NodeId(0), Cycle::ZERO); MAX_PROCS],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, dst: NodeId, at: Cycle) {
+        self.slots[self.len] = (dst, at);
+        self.len += 1;
+    }
+
+    /// Number of deliveries in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `(destination, delivery time)` pairs, in send order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Cycle)> + '_ {
+        self.slots[..self.len].iter().copied()
+    }
+}
 
 /// Constant-latency point-to-point network with per-node network
 /// interfaces.
@@ -59,6 +102,33 @@ impl Network {
         let in_done = self.ni_in[dst.0].acquire(at_dst, self.lat.ni_occupancy);
         let in_start = Cycle(in_done.raw() - self.lat.ni_occupancy);
         in_start + self.lat.deliver
+    }
+
+    /// Sends one message from `src` to every node in `dests`, returning
+    /// the per-destination delivery times as an inline [`DeliveryBatch`].
+    ///
+    /// Timing is identical to calling [`Network::send`] once per
+    /// destination in iteration order (the batch serializes at the
+    /// source NI just like individual sends); the point of the batch is
+    /// that the *caller* constructs its message payload once and issues
+    /// the deliveries in a tight loop instead of re-materializing the
+    /// message per destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dests` yields more than [`MAX_PROCS`] destinations.
+    pub fn multicast(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dests: impl IntoIterator<Item = NodeId>,
+    ) -> DeliveryBatch {
+        let mut batch = DeliveryBatch::new();
+        for dst in dests {
+            let at = self.send(now, src, dst);
+            batch.push(dst, at);
+        }
+        batch
     }
 
     /// Remote messages sent so far.
@@ -139,6 +209,32 @@ mod tests {
         let t2 = n.send(Cycle(0), NodeId(2), NodeId(3));
         assert_eq!(t1, Cycle(lat.one_way()));
         assert_eq!(t2, Cycle(lat.one_way()));
+    }
+
+    #[test]
+    fn multicast_matches_sequential_sends() {
+        let mut batched = net();
+        let mut sequential = net();
+        let dests = [NodeId(1), NodeId(2), NodeId(3)];
+        let batch = batched.multicast(Cycle(50), NodeId(0), dests);
+        let expected: Vec<_> = dests
+            .iter()
+            .map(|&d| (d, sequential.send(Cycle(50), NodeId(0), d)))
+            .collect();
+        assert_eq!(batch.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batched.messages_sent(), sequential.messages_sent());
+        assert_eq!(batched.ni_wait_cycles(), sequential.ni_wait_cycles());
+    }
+
+    #[test]
+    fn empty_multicast_is_a_no_op() {
+        let mut n = net();
+        let batch = n.multicast(Cycle(0), NodeId(0), []);
+        assert!(batch.is_empty());
+        assert_eq!(batch.iter().count(), 0);
+        assert_eq!(n.messages_sent(), 0);
     }
 
     #[test]

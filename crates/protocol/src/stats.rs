@@ -68,6 +68,11 @@ pub struct RunStats {
     pub policy: SpecPolicy,
     /// Total execution time (cycle of the last processor's completion).
     pub exec_cycles: u64,
+    /// Discrete events processed by the simulation loop (resumes,
+    /// deliveries, directory releases). Simulator-side work, not a
+    /// property of the modeled machine; `sim_events / wall time` is the
+    /// simulator-throughput metric tracked in `BENCH_protocol.json`.
+    pub sim_events: u64,
     /// Per-processor breakdowns.
     pub per_proc: Vec<ProcStats>,
     /// Remote network messages sent.
@@ -181,6 +186,7 @@ mod tests {
             workload: "test".into(),
             policy: SpecPolicy::Base,
             exec_cycles: 1000,
+            sim_events: 0,
             per_proc,
             remote_messages: 0,
             ni_wait_cycles: 0,

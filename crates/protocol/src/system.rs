@@ -1,4 +1,34 @@
 //! The whole-machine simulator: event loop and protocol logic.
+//!
+//! [`System`] owns every component of the simulated DSM and drives them
+//! from a single discrete-event loop. Three event kinds exist:
+//!
+//! * [`Event::Resume`] — a processor continues executing its stream;
+//! * [`Event::Deliver`] — a protocol message arrives at a node;
+//! * [`Event::DirRelease`] — a directory block's reply hold expires.
+//!
+//! Every event carries its cycle through the calendar-queue
+//! [`EventQueue`], which guarantees FIFO order among same-cycle events,
+//! making whole runs reproducible bit-for-bit.
+//!
+//! # Hot path
+//!
+//! `System::run` is the throughput bound of the whole repository (the
+//! predictor layer is O(1) per message since the keyed-pattern-table
+//! rework), so the message path is written to touch each data structure
+//! once:
+//!
+//! 1. [`EventQueue::pop`] — O(1) bucket pop for near-future events;
+//! 2. message delivery resolves the destination directory block to a
+//!    [`DirSlot`] **once** (dense-table arithmetic, no hashing) and
+//!    passes the handle through the transaction logic;
+//! 3. speculative fan-out builds its message payload once and issues
+//!    the per-destination deliveries from an inline
+//!    [`DeliveryBatch`](crate::DeliveryBatch).
+//!
+//! The message lifecycle (processor → network → directory → speculation
+//! engine → predictor feedback) is described end-to-end in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 use std::error::Error;
 use std::fmt;
@@ -9,7 +39,7 @@ use specdsm_types::{
     BlockAddr, ConfigError, DirMsg, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind, Workload,
 };
 
-use crate::directory::{DirState, Directory, Txn, TxnKind};
+use crate::directory::{DirBlock, DirSlot, DirState, Directory, Txn, TxnKind};
 use crate::msg::{Msg, MsgKind};
 use crate::network::Network;
 use crate::processor::{Blocked, ProcAction, Processor};
@@ -95,8 +125,9 @@ enum Event {
     /// A message is delivered at its destination.
     Deliver(Msg),
     /// A directory block's reply-hold expires (the outgoing data has
-    /// been handed to the NI; queued requests may proceed).
-    DirRelease(NodeId, BlockAddr),
+    /// been handed to the NI; queued requests may proceed). Carries the
+    /// pre-resolved slot so the release path does no lookup at all.
+    DirRelease(DirSlot, BlockAddr),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -166,7 +197,9 @@ impl System {
             .collect();
         Ok(System {
             procs,
-            dirs: NodeId::all(n).map(Directory::new).collect(),
+            dirs: NodeId::all(n)
+                .map(|node| Directory::new(node, &cfg.machine))
+                .collect(),
             mems: (0..n).map(|_| FifoResource::new()).collect(),
             net: Network::new(n, cfg.machine.latency),
             queue: EventQueue::new(),
@@ -206,12 +239,23 @@ impl System {
             match event {
                 Event::Resume(p) => self.step_proc(now, p),
                 Event::Deliver(msg) => self.deliver(now, msg),
-                Event::DirRelease(home, block) => self.dir_release(now, home, block),
+                Event::DirRelease(slot, block) => self.dir_release(now, slot, block),
             }
         }
         self.check_quiescent();
         self.check_coherence();
         self.into_stats()
+    }
+
+    /// The directory record of a resolved slot.
+    fn dblk(&mut self, s: DirSlot) -> &mut DirBlock {
+        self.dirs[s.home.0].at_mut(s.idx)
+    }
+
+    /// Read-only access to a resolved slot's record (does not mark the
+    /// block active).
+    fn dblk_ref(&self, s: DirSlot) -> &DirBlock {
+        self.dirs[s.home.0].at(s.idx)
     }
 
     /// Asserts the end-of-run coherence invariants: no in-flight
@@ -327,6 +371,7 @@ impl System {
             workload: self.workload_name,
             policy: self.cfg.policy,
             exec_cycles,
+            sim_events: self.queue.scheduled_total(),
             per_proc: self.procs.iter().map(|p| p.stats).collect(),
             remote_messages: self.net.messages_sent(),
             ni_wait_cycles: self.net.ni_wait_cycles(),
@@ -515,6 +560,9 @@ impl System {
         );
     }
 
+    /// Dispatches a delivered message. Directory-bound messages resolve
+    /// their block to a [`DirSlot`] exactly once, here; the handlers
+    /// below only ever index.
     fn deliver(&mut self, now: Cycle, msg: Msg) {
         let Msg {
             src,
@@ -523,14 +571,25 @@ impl System {
             kind,
         } = msg;
         match kind {
-            MsgKind::ReadReq(p) => self.dir_request(now, dst, block, ReqKind::Read, p),
-            MsgKind::WriteReq(p) => self.dir_request(now, dst, block, ReqKind::Write, p),
-            MsgKind::UpgradeReq(p) => self.dir_request(now, dst, block, ReqKind::Upgrade, p),
+            MsgKind::ReadReq(p) => {
+                let slot = self.dirs[dst.0].slot_of(block);
+                self.dir_request(now, slot, block, ReqKind::Read, p);
+            }
+            MsgKind::WriteReq(p) => {
+                let slot = self.dirs[dst.0].slot_of(block);
+                self.dir_request(now, slot, block, ReqKind::Write, p);
+            }
+            MsgKind::UpgradeReq(p) => {
+                let slot = self.dirs[dst.0].slot_of(block);
+                self.dir_request(now, slot, block, ReqKind::Upgrade, p);
+            }
             MsgKind::InvAck { proc, spec_unused } => {
-                self.dir_inv_ack(now, dst, block, proc, spec_unused)
+                let slot = self.dirs[dst.0].slot_of(block);
+                self.dir_inv_ack(now, slot, block, proc, spec_unused);
             }
             MsgKind::WritebackData { proc, version, .. } => {
-                self.dir_writeback(now, dst, block, proc, version)
+                let slot = self.dirs[dst.0].slot_of(block);
+                self.dir_writeback(now, slot, block, proc, version);
             }
             MsgKind::DataShared { version } => {
                 self.proc_grant(now, dst, block, version, Grant::Shared)
@@ -554,7 +613,7 @@ impl System {
     fn dir_request(
         &mut self,
         now: Cycle,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         kind: ReqKind,
         p: ProcId,
@@ -574,22 +633,23 @@ impl System {
         // SWI trigger: a write-like request signals that this
         // processor's previous written block (at this home) is done.
         if self.spec.policy.swi_enabled() && kind.is_write_like() {
+            let home = slot.home;
             if let Some(prev) = self.spec.swi_tables[home.0].note_write(p, block) {
                 self.try_swi(now, home, prev, p);
             }
         }
-        let blk = self.dirs[home.0].block_mut(block);
+        let blk = self.dblk(slot);
         if blk.busy.is_some() {
             blk.pending.push_back((kind, p));
             return;
         }
-        self.dir_process(now, home, block, kind, p);
+        self.dir_process(now, slot, block, kind, p);
     }
 
     fn dir_process(
         &mut self,
         now: Cycle,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         kind: ReqKind,
         p: ProcId,
@@ -603,15 +663,15 @@ impl System {
         // write-like requests from the owner the verdict is deferred to
         // the write grant, after the invalidation acks have reported
         // whether any pushed copy was referenced.
-        let pending = self.dirs[home.0].block(block).and_then(|b| b.swi_pending);
+        let pending = self.dblk_ref(slot).swi_pending;
         if let Some((owner, ticket)) = pending {
             match kind {
                 ReqKind::Read if p == owner => {
-                    self.resolve_swi_premature(home, block, ticket);
+                    self.resolve_swi_premature(slot, block, ticket);
                 }
                 ReqKind::Read => {
                     // A consumer demanded the block: success.
-                    self.dirs[home.0].block_mut(block).swi_pending = None;
+                    self.dblk(slot).swi_pending = None;
                 }
                 ReqKind::Write | ReqKind::Upgrade => {
                     // Deferred: grant_exclusive decides.
@@ -619,39 +679,40 @@ impl System {
             }
         }
         match kind {
-            ReqKind::Read => self.process_read(now, home, block, p),
-            ReqKind::Write | ReqKind::Upgrade => self.process_write_like(now, home, block, kind, p),
+            ReqKind::Read => self.process_read(now, slot, block, p),
+            ReqKind::Write | ReqKind::Upgrade => self.process_write_like(now, slot, block, kind, p),
         }
     }
 
     fn resolve_swi_premature(
         &mut self,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         ticket: Option<SpecTicket>,
     ) {
-        self.dirs[home.0].block_mut(block).swi_pending = None;
+        self.dblk(slot).swi_pending = None;
         self.spec.stats.swi_inval_premature += 1;
         if let Some(t) = ticket {
             self.spec.vmsp.mark_swi_premature(block, t);
         }
     }
 
-    fn process_read(&mut self, now: Cycle, home: NodeId, block: BlockAddr, p: ProcId) {
-        let state = self.dirs[home.0].block_mut(block).state;
+    fn process_read(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr, p: ProcId) {
+        let home = slot.home;
+        let state = self.dblk(slot).state;
         match state {
             DirState::Idle | DirState::Shared(_) => {
                 let t = self.mem_access(now, home);
                 let version = {
-                    let blk = self.dirs[home.0].block_mut(block);
+                    let blk = self.dblk(slot);
                     let mut readers = blk.sharers();
                     readers.insert(p);
                     blk.state = DirState::Shared(readers);
                     blk.version
                 };
                 self.send(t, home, p.node(), block, MsgKind::DataShared { version });
-                let spec_t = self.fr_speculate(t, home, block);
-                self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
+                let spec_t = self.fr_speculate(t, slot, block);
+                self.lock_reply(now, slot, block, spec_t.unwrap_or(t).max(t));
             }
             DirState::Exclusive(owner) if owner != p => {
                 self.send(
@@ -661,7 +722,7 @@ impl System {
                     block,
                     MsgKind::InvWriteback { swi: false },
                 );
-                self.dirs[home.0].block_mut(block).busy = Some(Txn {
+                self.dblk(slot).busy = Some(Txn {
                     kind: TxnKind::Read(p),
                     acks_left: 0,
                     awaiting_wb: true,
@@ -676,28 +737,29 @@ impl System {
     fn process_write_like(
         &mut self,
         now: Cycle,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         kind: ReqKind,
         p: ProcId,
     ) {
-        let state = self.dirs[home.0].block_mut(block).state;
+        let home = slot.home;
+        let state = self.dblk(slot).state;
         match state {
             DirState::Idle => {
-                let sent = self.grant_exclusive(now, home, block, p, false);
-                self.lock_reply(now, home, block, sent);
+                let sent = self.grant_exclusive(now, slot, block, p, false);
+                self.lock_reply(now, slot, block, sent);
             }
             DirState::Shared(readers) => {
                 let others = readers - ReaderSet::single(p);
                 let in_place = kind == ReqKind::Upgrade && readers.contains(p);
                 if others.is_empty() {
-                    let sent = self.grant_exclusive(now, home, block, p, in_place);
-                    self.lock_reply(now, home, block, sent);
+                    let sent = self.grant_exclusive(now, slot, block, p, in_place);
+                    self.lock_reply(now, slot, block, sent);
                 } else {
                     for r in others.iter() {
                         self.send(now, home, r.node(), block, MsgKind::Inval);
                     }
-                    self.dirs[home.0].block_mut(block).busy = Some(Txn {
+                    self.dblk(slot).busy = Some(Txn {
                         kind: TxnKind::WriteLike {
                             requester: p,
                             in_place,
@@ -715,7 +777,7 @@ impl System {
                     block,
                     MsgKind::InvWriteback { swi: false },
                 );
-                self.dirs[home.0].block_mut(block).busy = Some(Txn {
+                self.dblk(slot).busy = Some(Txn {
                     kind: TxnKind::WriteLike {
                         requester: p,
                         in_place: false,
@@ -735,24 +797,25 @@ impl System {
     fn grant_exclusive(
         &mut self,
         now: Cycle,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         p: ProcId,
         in_place: bool,
     ) -> Cycle {
+        let home = slot.home;
         // Deferred SWI verdict: if an SWI invalidation is still pending
         // at write-grant time, no consumption was ever observed — the
         // grant to the original owner means it was premature; a grant
         // to anyone else means production simply moved on.
-        if let Some((owner, ticket)) = self.dirs[home.0].block(block).and_then(|b| b.swi_pending) {
+        if let Some((owner, ticket)) = self.dblk_ref(slot).swi_pending {
             if p == owner {
-                self.resolve_swi_premature(home, block, ticket);
+                self.resolve_swi_premature(slot, block, ticket);
             } else {
-                self.dirs[home.0].block_mut(block).swi_pending = None;
+                self.dblk(slot).swi_pending = None;
             }
         }
         let version = {
-            let blk = self.dirs[home.0].block_mut(block);
+            let blk = self.dblk(slot);
             blk.state = DirState::Exclusive(p);
             blk.grant_version()
         };
@@ -771,11 +834,11 @@ impl System {
     /// speculative batch) has left the directory. Prevents a later
     /// request's invalidations from overtaking the data on the same
     /// home→processor path.
-    fn lock_reply(&mut self, now: Cycle, home: NodeId, block: BlockAddr, until: Cycle) {
+    fn lock_reply(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr, until: Cycle) {
         if until <= now {
             return;
         }
-        let blk = self.dirs[home.0].block_mut(block);
+        let blk = self.dblk(slot);
         match &mut blk.busy {
             None => {
                 blk.busy = Some(Txn {
@@ -790,13 +853,13 @@ impl System {
             }) => *u = (*u).max(until),
             Some(other) => unreachable!("reply lock over active transaction {other:?}"),
         }
-        self.queue.schedule(until, Event::DirRelease(home, block));
+        self.queue.schedule(until, Event::DirRelease(slot, block));
     }
 
     /// A reply-hold expires: release the block if this was its final
     /// deadline and serve queued requests.
-    fn dir_release(&mut self, now: Cycle, home: NodeId, block: BlockAddr) {
-        let blk = self.dirs[home.0].block_mut(block);
+    fn dir_release(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) {
+        let blk = self.dblk(slot);
         if let Some(Txn {
             kind: TxnKind::Reply { until },
             ..
@@ -804,7 +867,7 @@ impl System {
         {
             if now >= until {
                 blk.busy = None;
-                self.drain_pending(now, home, block);
+                self.drain_pending(now, slot, block);
             }
         }
     }
@@ -812,7 +875,7 @@ impl System {
     fn dir_inv_ack(
         &mut self,
         now: Cycle,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         proc: ProcId,
         spec_unused: bool,
@@ -824,9 +887,9 @@ impl System {
         self.spec.note_invalidated(block, proc, spec_unused);
         // A referenced copy is consumption evidence for a pending SWI.
         if !spec_unused {
-            self.dirs[home.0].block_mut(block).swi_pending = None;
+            self.dblk(slot).swi_pending = None;
         }
-        let blk = self.dirs[home.0].block_mut(block);
+        let blk = self.dblk(slot);
         let txn = blk
             .busy
             .as_mut()
@@ -834,14 +897,14 @@ impl System {
         assert!(txn.acks_left > 0, "unexpected InvAck for {block}");
         txn.acks_left -= 1;
         if txn.acks_left == 0 && !txn.awaiting_wb {
-            self.complete_txn(now, home, block);
+            self.complete_txn(now, slot, block);
         }
     }
 
     fn dir_writeback(
         &mut self,
         now: Cycle,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         proc: ProcId,
         version: u64,
@@ -849,7 +912,7 @@ impl System {
         if let Some(trace) = &mut self.trace {
             trace.record(block, DirMsg::writeback(proc));
         }
-        let blk = self.dirs[home.0].block_mut(block);
+        let blk = self.dblk(slot);
         blk.version = version;
         let txn = blk
             .busy
@@ -858,13 +921,14 @@ impl System {
         assert!(txn.awaiting_wb, "unexpected writeback for {block}");
         txn.awaiting_wb = false;
         if txn.acks_left == 0 {
-            self.complete_txn(now, home, block);
+            self.complete_txn(now, slot, block);
         }
     }
 
-    fn complete_txn(&mut self, now: Cycle, home: NodeId, block: BlockAddr) {
-        let txn = self.dirs[home.0]
-            .block_mut(block)
+    fn complete_txn(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) {
+        let home = slot.home;
+        let txn = self
+            .dblk(slot)
             .busy
             .take()
             .expect("complete_txn without a transaction");
@@ -873,7 +937,7 @@ impl System {
                 // Memory absorbs the writeback and sources the reply.
                 let t = self.mem_access(now, home);
                 let version = {
-                    let blk = self.dirs[home.0].block_mut(block);
+                    let blk = self.dblk(slot);
                     blk.state = DirState::Shared(ReaderSet::single(requester));
                     blk.version
                 };
@@ -884,42 +948,42 @@ impl System {
                     block,
                     MsgKind::DataShared { version },
                 );
-                let spec_t = self.fr_speculate(t, home, block);
-                self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
+                let spec_t = self.fr_speculate(t, slot, block);
+                self.lock_reply(now, slot, block, spec_t.unwrap_or(t).max(t));
             }
             TxnKind::WriteLike {
                 requester,
                 in_place,
             } => {
-                let sent = self.grant_exclusive(now, home, block, requester, in_place);
-                self.lock_reply(now, home, block, sent);
+                let sent = self.grant_exclusive(now, slot, block, requester, in_place);
+                self.lock_reply(now, slot, block, sent);
             }
             TxnKind::Swi { owner, ticket } => {
                 // Successful speculative invalidation: memory is clean.
                 let t = self.mem_access(now, home);
                 {
-                    let blk = self.dirs[home.0].block_mut(block);
+                    let blk = self.dblk(slot);
                     blk.state = DirState::Idle;
                     blk.swi_pending = Some((owner, ticket));
                 }
-                let spec_t = self.swi_read_speculate(t, home, block);
-                self.lock_reply(now, home, block, spec_t.unwrap_or(t).max(t));
+                let spec_t = self.swi_read_speculate(t, slot, block);
+                self.lock_reply(now, slot, block, spec_t.unwrap_or(t).max(t));
             }
             TxnKind::Reply { .. } => unreachable!("reply holds complete via DirRelease"),
         }
-        self.drain_pending(now, home, block);
+        self.drain_pending(now, slot, block);
     }
 
-    fn drain_pending(&mut self, now: Cycle, home: NodeId, block: BlockAddr) {
+    fn drain_pending(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) {
         loop {
-            let blk = self.dirs[home.0].block_mut(block);
+            let blk = self.dblk(slot);
             if blk.busy.is_some() {
                 return;
             }
             let Some((kind, p)) = blk.pending.pop_front() else {
                 return;
             };
-            self.dir_process(now, home, block, kind, p);
+            self.dir_process(now, slot, block, kind, p);
         }
     }
 
@@ -940,33 +1004,39 @@ impl System {
     /// FR: after serving a demand read, forward read-only copies to the
     /// remaining predicted readers. Returns the time the speculative
     /// batch left, if any.
-    fn fr_speculate(&mut self, now: Cycle, home: NodeId, block: BlockAddr) -> Option<Cycle> {
+    fn fr_speculate(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) -> Option<Cycle> {
         if !self.spec.policy.fr_enabled() {
             return None;
         }
         let (vec, ticket) = self.spec.vmsp.predicted_readers(block)?;
-        self.spec_forward(now, home, block, vec, ticket, Trigger::Fr)
+        self.spec_forward(now, slot, block, vec, ticket, Trigger::Fr)
     }
 
     /// SWI: after a successful speculative write invalidation, forward
     /// the block to the whole predicted read sequence. Returns the time
     /// the speculative batch left, if any.
-    fn swi_read_speculate(&mut self, now: Cycle, home: NodeId, block: BlockAddr) -> Option<Cycle> {
+    fn swi_read_speculate(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) -> Option<Cycle> {
         let (vec, ticket) = self.spec.vmsp.predicted_readers(block)?;
-        self.spec_forward(now, home, block, vec, ticket, Trigger::Swi)
+        self.spec_forward(now, slot, block, vec, ticket, Trigger::Swi)
     }
 
+    /// Forwards one speculative read-only copy of `block` to every
+    /// predicted reader not already sharing it. The message payload is
+    /// built once; the per-destination deliveries fan out through an
+    /// inline [`DeliveryBatch`](crate::DeliveryBatch) in a single pass
+    /// over the network (no per-destination message re-materialization).
     fn spec_forward(
         &mut self,
         now: Cycle,
-        home: NodeId,
+        slot: DirSlot,
         block: BlockAddr,
         vec: ReaderSet,
         ticket: SpecTicket,
         trigger: Trigger,
     ) -> Option<Cycle> {
+        let home = slot.home;
         let (targets, version) = {
-            let blk = self.dirs[home.0].block_mut(block);
+            let blk = self.dblk(slot);
             debug_assert!(
                 !matches!(blk.state, DirState::Exclusive(_)),
                 "speculative forward while a writable copy exists"
@@ -981,12 +1051,26 @@ impl System {
         // the directory's buffer: no extra memory occupancy, only NI
         // and network costs.
         let t = now;
+        let kind = MsgKind::SpecData { version };
+        let batch = self
+            .net
+            .multicast(t, home, targets.iter().map(ProcId::node));
+        for (dst, at) in batch.iter() {
+            self.queue.schedule(
+                at,
+                Event::Deliver(Msg {
+                    src: home,
+                    dst,
+                    block,
+                    kind,
+                }),
+            );
+        }
         for r in targets.iter() {
-            self.send(t, home, r.node(), block, MsgKind::SpecData { version });
             self.spec.note_sent(block, r, ticket, trigger);
         }
         {
-            let blk = self.dirs[home.0].block_mut(block);
+            let blk = self.dblk(slot);
             let merged = blk.sharers() | targets;
             blk.state = DirState::Shared(merged);
         }
@@ -997,9 +1081,10 @@ impl System {
     /// Attempts an SWI invalidation of `prev` (the block `owner` wrote
     /// before its current write).
     fn try_swi(&mut self, now: Cycle, home: NodeId, prev: BlockAddr, owner: ProcId) {
-        let eligible = match self.dirs[home.0].block(prev) {
-            Some(b) => b.busy.is_none() && b.state == DirState::Exclusive(owner),
-            None => false,
+        let slot = self.dirs[home.0].slot_of(prev);
+        let eligible = {
+            let b = self.dblk_ref(slot);
+            b.busy.is_none() && b.state == DirState::Exclusive(owner)
         };
         if !eligible || !self.spec.vmsp.swi_allowed(prev) {
             return;
@@ -1012,7 +1097,7 @@ impl System {
             prev,
             MsgKind::InvWriteback { swi: true },
         );
-        self.dirs[home.0].block_mut(prev).busy = Some(Txn {
+        self.dblk(slot).busy = Some(Txn {
             kind: TxnKind::Swi { owner, ticket },
             acks_left: 0,
             awaiting_wb: true,
@@ -1219,6 +1304,8 @@ mod tests {
         let c = run_script(4, SpecPolicy::Base, ops());
         assert_eq!(a.exec_cycles, c.exec_cycles);
         assert_eq!(a.remote_messages, c.remote_messages);
+        assert_eq!(a.sim_events, c.sim_events);
+        assert!(a.sim_events > 0, "event count is recorded");
     }
 
     #[test]

@@ -12,6 +12,11 @@ use serde::{Deserialize, Serialize};
 /// duration to a `Cycle` yields a later `Cycle`; subtracting two
 /// `Cycle`s yields the `u64` duration between them.
 ///
+/// Cycles are also the scheduling granularity of the calendar-queue
+/// [`EventQueue`](crate::EventQueue): its timing wheel uses one bucket
+/// per cycle, so two events are "simultaneous" (and ordered FIFO by
+/// scheduling order) exactly when their `Cycle` values are equal.
+///
 /// # Example
 ///
 /// ```

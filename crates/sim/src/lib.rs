@@ -6,8 +6,9 @@
 //! discrete-event engine with
 //!
 //! * a [`Cycle`] time axis,
-//! * an [`EventQueue`] with strict FIFO ordering among same-cycle events
-//!   (so runs are reproducible bit-for-bit),
+//! * an [`EventQueue`] — a calendar queue (bucketed timing wheel with
+//!   an overflow heap) with strict FIFO ordering among same-cycle
+//!   events, so runs are reproducible bit-for-bit,
 //! * [`FifoResource`] for occupancy-based contention modeling (memory
 //!   banks, network interfaces),
 //! * a tiny, stable [`Xorshift64Star`] PRNG used to generate the timing
@@ -26,6 +27,10 @@
 //! let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 //! assert_eq!(order, vec!["a", "b", "c"]); // FIFO among equal cycles
 //! ```
+//!
+//! How the engine fits into the whole simulator — the message
+//! lifecycle and the scheduler design rationale — is documented in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

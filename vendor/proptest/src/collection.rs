@@ -38,7 +38,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> 
     VecStrategy { element, size }
 }
 
-/// Strategy produced by [`vec`].
+/// Strategy produced by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, R> {
     element: S,
