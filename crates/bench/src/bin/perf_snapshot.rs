@@ -225,11 +225,39 @@ fn protocol_rows() -> Vec<ProtoRow> {
     rows
 }
 
+/// Pre-arena (PR 2 engine: map-based online VMSP + `(block, proc)`
+/// ticket map) speculative-policy overhead on this container, computed
+/// from that commit's recorded per-run walls. The arena rework's goal
+/// is to pull the live ratios below these.
+const PRE_ARENA_FR_WALL: f64 = 1.343;
+const PRE_ARENA_SWI_WALL: f64 = 1.566;
+const PRE_ARENA_FR_PER_EVENT: f64 = 1.529;
+const PRE_ARENA_SWI_PER_EVENT: f64 = 1.870;
+
+/// Aggregate `(wall ratio, per-event ratio)` of `policy` vs Base-DSM
+/// across the suite: total wall over total wall, and mean ns/event
+/// over mean ns/event.
+fn policy_overhead(rows: &[ProtoRow], policy: &str) -> (f64, f64) {
+    let sum = |p: &str| -> (f64, u64) {
+        rows.iter()
+            .filter(|r| r.policy == p)
+            .fold((0.0, 0), |(w, e), r| (w + r.wall_ms, e + r.sim_events))
+    };
+    let (base_wall, base_events) = sum("Base-DSM");
+    let (wall, events) = sum(policy);
+    (
+        wall / base_wall,
+        (wall / events as f64) / (base_wall / base_events as f64),
+    )
+}
+
 fn render_protocol_json(rows: &[ProtoRow]) -> String {
     let suite_wall_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
     let total_events: u64 = rows.iter().map(|r| r.sim_events).sum();
     let events_per_sec = total_events as f64 / (suite_wall_ms / 1e3);
     let speedup = SEED_SUITE_WALL_MS / suite_wall_ms;
+    let (fr_wall, fr_event) = policy_overhead(rows, "FR-DSM");
+    let (swi_wall, swi_event) = policy_overhead(rows, "SWI-DSM");
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -248,6 +276,49 @@ fn render_protocol_json(rows: &[ProtoRow]) -> String {
         out,
         "  \"wall_speedup_vs_seed_same_host_only\": {speedup:.2},"
     );
+    // The ROADMAP's named hot spot: how much more wall-clock the
+    // speculative configurations cost than Base-DSM. `*_wall` compares
+    // whole-suite wall time; `*_per_event` divides by scheduler events
+    // first (the policies execute different event counts, so this is
+    // the honest per-event engine cost). `baseline_pre_arena` is the
+    // same ratio measured on the PR 2 engine (map-based VMSP + ticket
+    // map) on this container.
+    out.push_str("  \"policy_overhead\": {\n");
+    let _ = writeln!(out, "    \"fr_vs_base_wall\": {fr_wall:.3},");
+    let _ = writeln!(out, "    \"swi_vs_base_wall\": {swi_wall:.3},");
+    let _ = writeln!(out, "    \"fr_vs_base_per_event\": {fr_event:.3},");
+    let _ = writeln!(out, "    \"swi_vs_base_per_event\": {swi_event:.3},");
+    let _ = writeln!(
+        out,
+        "    \"baseline_pre_arena\": {{\"fr_vs_base_wall\": {PRE_ARENA_FR_WALL}, \
+         \"swi_vs_base_wall\": {PRE_ARENA_SWI_WALL}, \
+         \"fr_vs_base_per_event\": {PRE_ARENA_FR_PER_EVENT}, \
+         \"swi_vs_base_per_event\": {PRE_ARENA_SWI_PER_EVENT}}},"
+    );
+    out.push_str("    \"per_app\": [\n");
+    let apps: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.policy == "Base-DSM")
+        .map(|r| r.app.as_str())
+        .collect();
+    for (i, app) in apps.iter().enumerate() {
+        let wall = |policy: &str| -> f64 {
+            rows.iter()
+                .find(|r| r.app == *app && r.policy == policy)
+                .map_or(f64::NAN, |r| r.wall_ms)
+        };
+        let base = wall("Base-DSM");
+        let comma = if i + 1 == apps.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      {{\"app\": \"{app}\", \"fr_vs_base_wall\": {:.3}, \
+             \"swi_vs_base_wall\": {:.3}}}{comma}",
+            wall("FR-DSM") / base,
+            wall("SWI-DSM") / base
+        );
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     out.push_str("  \"per_run\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

@@ -85,6 +85,8 @@ impl SharingPredictor for Cosmos {
                 num_procs: self.num_procs,
             },
             blocks: self.inner.blocks_allocated(),
+            // Map-backed storage allocates exactly one slot per block.
+            slots: self.inner.blocks_allocated(),
             entries: self.inner.pattern_entries(),
         }
     }

@@ -82,6 +82,6 @@ pub use storage::{StorageModel, StorageReport};
 pub use swi::SwiTable;
 pub use symbol::{HistoryKey, Symbol};
 pub use table::{History, PatternEntry, PatternTable};
-pub use vmsp::{SpecTicket, Vmsp};
+pub use vmsp::{SpecTicket, SpecTrigger, VSlot, Vmsp};
 
 pub use specdsm_types::{DirMsg, ReaderSet};

@@ -87,6 +87,8 @@ impl SharingPredictor for Msp {
                 num_procs: self.num_procs,
             },
             blocks: self.inner.blocks_allocated(),
+            // Map-backed storage allocates exactly one slot per block.
+            slots: self.inner.blocks_allocated(),
             entries: self.inner.pattern_entries(),
         }
     }

@@ -127,8 +127,15 @@ impl StorageModel {
 pub struct StorageReport {
     /// The cost model (kind, depth, processor count).
     pub model: StorageModel,
-    /// Blocks with allocated predictor state.
+    /// Blocks with *active* predictor state (ever observed or touched
+    /// by speculation feedback).
     pub blocks: u64,
+    /// Storage slots actually committed by the backing store. For the
+    /// map-backed predictors this equals `blocks`; the VMSP's dense
+    /// per-home arenas commit whole spans up to the highest slot
+    /// touched, so `slots >= blocks` and the difference is the price
+    /// of slot addressing.
+    pub slots: u64,
     /// Total pattern-table entries across blocks.
     pub entries: u64,
 }
@@ -156,9 +163,15 @@ impl StorageReport {
     /// software layout (ring-buffer registers + keyed entries). This
     /// is the number to watch for host-memory budgeting; the paper's
     /// hardware bit model stays in [`StorageReport::bytes_per_block`].
+    ///
+    /// Charged per **committed slot**, not per active block: a dense
+    /// arena pays for every record in its committed span whether the
+    /// protocol ever touched it or not, and honest accounting must say
+    /// so (for the map-backed predictors `slots == blocks` and nothing
+    /// changes).
     #[must_use]
     pub fn sw_bytes_total(&self) -> u64 {
-        self.blocks * self.model.sw_history_bytes() + self.entries * self.model.sw_entry_bytes()
+        self.slots * self.model.sw_history_bytes() + self.entries * self.model.sw_entry_bytes()
     }
 }
 
@@ -233,6 +246,7 @@ mod tests {
         let rep = StorageReport {
             model: model(PredictorKind::Msp, 1),
             blocks: 4,
+            slots: 4,
             entries: 12,
         };
         assert_eq!(rep.pte_per_block(), 3.0);
@@ -244,6 +258,7 @@ mod tests {
         let rep = StorageReport {
             model: model(PredictorKind::Vmsp, 1),
             blocks: 0,
+            slots: 0,
             entries: 0,
         };
         assert_eq!(rep.pte_per_block(), 0.0);
@@ -282,6 +297,7 @@ mod tests {
         let rep = StorageReport {
             model: m,
             blocks: 3,
+            slots: 3,
             entries: 7,
         };
         assert_eq!(
@@ -298,6 +314,7 @@ mod tests {
         let rep = StorageReport {
             model: model(PredictorKind::Cosmos, 1),
             blocks: 1,
+            slots: 1,
             entries: 5,
         };
         assert!(rep.to_string().contains("Cosmos"));

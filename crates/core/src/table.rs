@@ -301,7 +301,11 @@ impl History {
         assert!(depth > 0, "history depth must be at least 1");
         History {
             depth,
-            buf: Vec::with_capacity(depth),
+            // Deliberately no preallocation: a fresh register costs no
+            // heap until its first push, so dense arenas can commit
+            // spans of pristine registers for free. The ring reaches
+            // `depth` capacity within the first few pushes.
+            buf: Vec::new(),
             head: 0,
             key: HistoryKey::EMPTY,
             base_pow_depth: HistoryKey::base_pow(depth),

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use specdsm_core::SpecTicket;
-use specdsm_types::{BlockAddr, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind};
+use specdsm_types::{BlockAddr, HomeGeometry, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind};
 
 /// Stable sharing state of a block at its home directory (paper
 /// Figure 1).
@@ -147,8 +147,12 @@ impl DirBlock {
 /// which is a bijection from this home's blocks onto `0, 1, 2, …` — no
 /// hashing, no probing, and neighbors in a page are neighbors in the
 /// table (the access locality of real workloads becomes cache locality
-/// of the simulator). The table grows on demand to the **highest slot
-/// touched**: for the page-allocated workloads this simulator runs
+/// of the simulator). The arithmetic itself lives in the shared
+/// [`HomeGeometry`] helper, so the directory and the speculation
+/// engine's VMSP arena resolve blocks with the *same* bijection (and
+/// the same power-of-two shift fast path for the paper machine: 128
+/// blocks/page × 16 nodes). The table grows on demand to the **highest
+/// slot touched**: for the page-allocated workloads this simulator runs
 /// (compact regions placed via [`MachineConfig::page_on`]) that is
 /// proportional to the footprint homed here, but — unlike the sparse
 /// map this replaced — a single very high block address commits the
@@ -157,16 +161,8 @@ impl DirBlock {
 #[derive(Debug, Clone)]
 pub struct Directory {
     node: NodeId,
-    /// Blocks per page (copied from [`MachineConfig::page_blocks`]).
-    page_blocks: u64,
-    /// `page_blocks * num_nodes`: the address stride between this
-    /// home's consecutive pages.
-    stride: u64,
-    /// `(page_shift, stride_shift)` when both `page_blocks` and
-    /// `stride` are powers of two (the paper machine: 128 blocks/page ×
-    /// 16 nodes). Lets the per-message index computation use shifts and
-    /// masks instead of three integer divisions.
-    shifts: Option<(u32, u32)>,
+    /// The shared page-interleaved slot arithmetic.
+    geom: HomeGeometry,
     table: Vec<DirBlock>,
     /// Number of records with `touched == true`.
     touched: usize,
@@ -190,20 +186,13 @@ impl Directory {
     /// not one of the `num_nodes` homes.
     #[must_use]
     pub fn with_geometry(node: NodeId, page_blocks: u64, num_nodes: usize) -> Self {
-        assert!(page_blocks > 0, "page_blocks must be positive");
-        assert!(num_nodes > 0, "num_nodes must be positive");
         assert!(
             node.0 < num_nodes,
             "{node} outside a {num_nodes}-home machine"
         );
-        let stride = page_blocks * num_nodes as u64;
-        let shifts = (page_blocks.is_power_of_two() && stride.is_power_of_two())
-            .then(|| (page_blocks.trailing_zeros(), stride.trailing_zeros()));
         Directory {
             node,
-            page_blocks,
-            stride,
-            shifts,
+            geom: HomeGeometry::new(page_blocks, num_nodes),
             table: Vec::new(),
             touched: 0,
         }
@@ -220,19 +209,12 @@ impl Directory {
     /// Callers must only pass blocks homed at this node; debug builds
     /// assert it.
     fn index_of(&self, block: BlockAddr) -> usize {
-        debug_assert_eq!(
-            (block.0 / self.page_blocks) % (self.stride / self.page_blocks),
-            self.node.0 as u64,
+        debug_assert!(
+            self.geom.is_homed(self.node, block),
             "{block} is not homed at {}",
             self.node
         );
-        if let Some((page_shift, stride_shift)) = self.shifts {
-            let local_page = block.0 >> stride_shift;
-            ((local_page << page_shift) | (block.0 & ((1 << page_shift) - 1))) as usize
-        } else {
-            let local_page = block.0 / self.stride;
-            (local_page * self.page_blocks + block.0 % self.page_blocks) as usize
-        }
+        self.geom.local_index(block)
     }
 
     /// Resolves `block` to a [`DirSlot`], growing the table to cover
@@ -265,7 +247,7 @@ impl Directory {
 
     /// Whether `block` is homed at this directory's node.
     fn is_homed(&self, block: BlockAddr) -> bool {
-        (block.0 / self.page_blocks) % (self.stride / self.page_blocks) == self.node.0 as u64
+        self.geom.is_homed(self.node, block)
     }
 
     /// Sharing state of `block` (`Idle` if never touched, or if the
@@ -314,10 +296,7 @@ impl Directory {
     /// Inverse of the dense index mapping: the block address of slot
     /// `idx`.
     fn block_of(&self, idx: usize) -> BlockAddr {
-        let idx = idx as u64;
-        let local_page = idx / self.page_blocks;
-        let offset = idx % self.page_blocks;
-        BlockAddr(local_page * self.stride + self.node.0 as u64 * self.page_blocks + offset)
+        self.geom.block_at(self.node, idx)
     }
 
     /// Record for `block`, resolving and growing as needed. The

@@ -16,6 +16,13 @@
 //! flight. The base protocol is unmodified — speculation only *advises*
 //! it to execute existing coherence operations early.
 //!
+//! Speculation state is slot-addressed: the engine resolves each
+//! message's block to a dense [`VSlot`] (the predictor-side analogue of
+//! the directory's slot handle) once, so the FR/SWI fast path makes no
+//! hash-map probes. The [`SpecStore`] trait abstracts that storage;
+//! [`MapSpecStore`] retains the pre-arena map layout purely as the
+//! differential-test reference.
+//!
 //! The full message lifecycle (processor → network → directory →
 //! speculation engine → predictor feedback), and the design rationale
 //! for the dense directory block tables and the calendar-queue
@@ -62,6 +69,7 @@ mod msg;
 mod network;
 mod processor;
 mod spec;
+mod spec_ref;
 mod stats;
 mod sync;
 mod system;
@@ -71,7 +79,12 @@ pub use directory::{DirState, Directory};
 pub use msg::{Msg, MsgKind};
 pub use network::{DeliveryBatch, Network};
 pub use processor::Processor;
-pub use spec::{SpecPolicy, SpecStats};
+pub use spec::{SpecPolicy, SpecStats, SpecStore};
+pub use spec_ref::MapSpecStore;
 pub use stats::{ProcStats, RunStats};
 pub use sync::{BarrierManager, LockManager};
-pub use system::{BuildError, System, SystemConfig};
+pub use system::{BuildError, GenericSystem, System, SystemConfig};
+
+// Re-exported so alternative [`SpecStore`] backends can be written
+// against this crate alone.
+pub use specdsm_core::{SpecTicket, SpecTrigger, VSlot};

@@ -20,8 +20,11 @@
 //!
 //! 1. [`EventQueue::pop`] — O(1) bucket pop for near-future events;
 //! 2. message delivery resolves the destination directory block to a
-//!    [`DirSlot`] **once** (dense-table arithmetic, no hashing) and
-//!    passes the handle through the transaction logic;
+//!    [`DirSlot`] — and, under a speculative policy, the predictor
+//!    state to a [`VSlot`] — **once** (shared dense-table arithmetic,
+//!    no hashing) and passes both handles through the transaction
+//!    logic, so observe, `predicted_readers`, and speculation-ticket
+//!    bookkeeping make zero map probes;
 //! 3. speculative fan-out builds its message payload once and issues
 //!    the per-destination deliveries from an inline
 //!    [`DeliveryBatch`](crate::DeliveryBatch).
@@ -33,7 +36,7 @@
 use std::error::Error;
 use std::fmt;
 
-use specdsm_core::{DirectoryTrace, SharingPredictor, SpecTicket};
+use specdsm_core::{DirectoryTrace, SpecTicket, SpecTrigger, VSlot, Vmsp};
 use specdsm_sim::{Cycle, EventQueue, FifoResource};
 use specdsm_types::{
     BlockAddr, ConfigError, DirMsg, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind, Workload,
@@ -43,7 +46,7 @@ use crate::directory::{DirBlock, DirSlot, DirState, Directory, Txn, TxnKind};
 use crate::msg::{Msg, MsgKind};
 use crate::network::Network;
 use crate::processor::{Blocked, ProcAction, Processor};
-use crate::spec::{SpecEngine, SpecPolicy, Trigger};
+use crate::spec::{SpecEngine, SpecPolicy, SpecStore};
 use crate::stats::RunStats;
 use crate::sync::{BarrierManager, LockManager};
 
@@ -126,8 +129,9 @@ enum Event {
     Deliver(Msg),
     /// A directory block's reply-hold expires (the outgoing data has
     /// been handed to the NI; queued requests may proceed). Carries the
-    /// pre-resolved slot so the release path does no lookup at all.
-    DirRelease(DirSlot, BlockAddr),
+    /// pre-resolved directory and predictor slots so the release path
+    /// does no lookup at all.
+    DirRelease(DirSlot, Option<VSlot>, BlockAddr),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -140,8 +144,14 @@ enum Grant {
 /// A complete simulated DSM: processors, caches, directories, network,
 /// synchronization, and (optionally) the speculation engine.
 ///
+/// Generic over the speculation-state backend so differential tests can
+/// run the same workload against the production arena store and the
+/// retained map reference ([`MapSpecStore`](crate::MapSpecStore)) and
+/// diff the results; everything else uses the [`System`] alias, which
+/// fixes the backend to the arena-backed [`Vmsp`].
+///
 /// Build one with [`System::new`] and consume it with [`System::run`].
-pub struct System {
+pub struct GenericSystem<V: SpecStore = Vmsp> {
     cfg: SystemConfig,
     procs: Vec<Processor>,
     dirs: Vec<Directory>,
@@ -150,7 +160,7 @@ pub struct System {
     queue: EventQueue<Event>,
     barrier: BarrierManager,
     locks: LockManager,
-    spec: SpecEngine,
+    spec: SpecEngine<V>,
     trace: Option<DirectoryTrace>,
     workload_name: String,
     done_count: usize,
@@ -160,7 +170,11 @@ pub struct System {
     dir_upgrades: u64,
 }
 
-impl System {
+/// The default speculative DSM: [`GenericSystem`] over the arena-backed
+/// [`Vmsp`] speculation store.
+pub type System = GenericSystem<Vmsp>;
+
+impl<V: SpecStore> GenericSystem<V> {
     /// Builds a system running `workload` under `cfg`.
     ///
     /// # Errors
@@ -195,7 +209,7 @@ impl System {
                 proc
             })
             .collect();
-        Ok(System {
+        Ok(GenericSystem {
             procs,
             dirs: NodeId::all(n)
                 .map(|node| Directory::new(node, &cfg.machine))
@@ -205,7 +219,7 @@ impl System {
             queue: EventQueue::new(),
             barrier: BarrierManager::new(n),
             locks: LockManager::new(),
-            spec: SpecEngine::new(cfg.policy, cfg.predictor_depth, n, n),
+            spec: SpecEngine::new(cfg.policy, cfg.predictor_depth, &cfg.machine),
             trace: cfg.record_trace.then(DirectoryTrace::new),
             workload_name: workload.name().to_string(),
             done_count: 0,
@@ -239,7 +253,9 @@ impl System {
             match event {
                 Event::Resume(p) => self.step_proc(now, p),
                 Event::Deliver(msg) => self.deliver(now, msg),
-                Event::DirRelease(slot, block) => self.dir_release(now, slot, block),
+                Event::DirRelease(slot, vslot, block) => {
+                    self.dir_release(now, slot, vslot, block);
+                }
             }
         }
         self.check_quiescent();
@@ -385,7 +401,7 @@ impl System {
                 .cfg
                 .policy
                 .uses_predictor()
-                .then(|| self.spec.vmsp.stats()),
+                .then(|| self.spec.vmsp.predictor_stats()),
             trace: self.trace,
         }
     }
@@ -560,9 +576,24 @@ impl System {
         );
     }
 
+    /// Resolves a directory-bound message's block to its [`DirSlot`]
+    /// and — when an online predictor runs — its [`VSlot`], each
+    /// exactly once per message. The predictor resolution goes through
+    /// the store's foreign-block guard: a block not actually homed at
+    /// `dst` yields `None` and the speculation paths see no state.
+    fn resolve_dir(&mut self, dst: NodeId, block: BlockAddr) -> (DirSlot, Option<VSlot>) {
+        let slot = self.dirs[dst.0].slot_of(block);
+        let vslot = if self.spec.policy.uses_predictor() {
+            self.spec.vmsp.resolve(dst, block)
+        } else {
+            None
+        };
+        (slot, vslot)
+    }
+
     /// Dispatches a delivered message. Directory-bound messages resolve
-    /// their block to a [`DirSlot`] exactly once, here; the handlers
-    /// below only ever index.
+    /// their block to a [`DirSlot`] (and predictor [`VSlot`]) exactly
+    /// once, here; the handlers below only ever index.
     fn deliver(&mut self, now: Cycle, msg: Msg) {
         let Msg {
             src,
@@ -572,24 +603,24 @@ impl System {
         } = msg;
         match kind {
             MsgKind::ReadReq(p) => {
-                let slot = self.dirs[dst.0].slot_of(block);
-                self.dir_request(now, slot, block, ReqKind::Read, p);
+                let (slot, vslot) = self.resolve_dir(dst, block);
+                self.dir_request(now, slot, vslot, block, ReqKind::Read, p);
             }
             MsgKind::WriteReq(p) => {
-                let slot = self.dirs[dst.0].slot_of(block);
-                self.dir_request(now, slot, block, ReqKind::Write, p);
+                let (slot, vslot) = self.resolve_dir(dst, block);
+                self.dir_request(now, slot, vslot, block, ReqKind::Write, p);
             }
             MsgKind::UpgradeReq(p) => {
-                let slot = self.dirs[dst.0].slot_of(block);
-                self.dir_request(now, slot, block, ReqKind::Upgrade, p);
+                let (slot, vslot) = self.resolve_dir(dst, block);
+                self.dir_request(now, slot, vslot, block, ReqKind::Upgrade, p);
             }
             MsgKind::InvAck { proc, spec_unused } => {
-                let slot = self.dirs[dst.0].slot_of(block);
-                self.dir_inv_ack(now, slot, block, proc, spec_unused);
+                let (slot, vslot) = self.resolve_dir(dst, block);
+                self.dir_inv_ack(now, slot, vslot, block, proc, spec_unused);
             }
             MsgKind::WritebackData { proc, version, .. } => {
-                let slot = self.dirs[dst.0].slot_of(block);
-                self.dir_writeback(now, slot, block, proc, version);
+                let (slot, vslot) = self.resolve_dir(dst, block);
+                self.dir_writeback(now, slot, vslot, block, proc, version);
             }
             MsgKind::DataShared { version } => {
                 self.proc_grant(now, dst, block, version, Grant::Shared)
@@ -614,6 +645,7 @@ impl System {
         &mut self,
         now: Cycle,
         slot: DirSlot,
+        vslot: Option<VSlot>,
         block: BlockAddr,
         kind: ReqKind,
         p: ProcId,
@@ -627,8 +659,8 @@ impl System {
         if let Some(trace) = &mut self.trace {
             trace.record(block, dmsg);
         }
-        if self.spec.policy.uses_predictor() {
-            self.spec.vmsp.observe(block, dmsg);
+        if let Some(vs) = vslot {
+            self.spec.vmsp.observe(vs, block, dmsg);
         }
         // SWI trigger: a write-like request signals that this
         // processor's previous written block (at this home) is done.
@@ -643,13 +675,14 @@ impl System {
             blk.pending.push_back((kind, p));
             return;
         }
-        self.dir_process(now, slot, block, kind, p);
+        self.dir_process(now, slot, vslot, block, kind, p);
     }
 
     fn dir_process(
         &mut self,
         now: Cycle,
         slot: DirSlot,
+        vslot: Option<VSlot>,
         block: BlockAddr,
         kind: ReqKind,
         p: ProcId,
@@ -667,7 +700,7 @@ impl System {
         if let Some((owner, ticket)) = pending {
             match kind {
                 ReqKind::Read if p == owner => {
-                    self.resolve_swi_premature(slot, block, ticket);
+                    self.resolve_swi_premature(slot, vslot, block, ticket);
                 }
                 ReqKind::Read => {
                     // A consumer demanded the block: success.
@@ -679,25 +712,35 @@ impl System {
             }
         }
         match kind {
-            ReqKind::Read => self.process_read(now, slot, block, p),
-            ReqKind::Write | ReqKind::Upgrade => self.process_write_like(now, slot, block, kind, p),
+            ReqKind::Read => self.process_read(now, slot, vslot, block, p),
+            ReqKind::Write | ReqKind::Upgrade => {
+                self.process_write_like(now, slot, vslot, block, kind, p);
+            }
         }
     }
 
     fn resolve_swi_premature(
         &mut self,
         slot: DirSlot,
+        vslot: Option<VSlot>,
         block: BlockAddr,
         ticket: Option<SpecTicket>,
     ) {
         self.dblk(slot).swi_pending = None;
         self.spec.stats.swi_inval_premature += 1;
-        if let Some(t) = ticket {
-            self.spec.vmsp.mark_swi_premature(block, t);
+        if let (Some(vs), Some(t)) = (vslot, ticket) {
+            self.spec.vmsp.mark_swi_premature(vs, block, t);
         }
     }
 
-    fn process_read(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr, p: ProcId) {
+    fn process_read(
+        &mut self,
+        now: Cycle,
+        slot: DirSlot,
+        vslot: Option<VSlot>,
+        block: BlockAddr,
+        p: ProcId,
+    ) {
         let home = slot.home;
         let state = self.dblk(slot).state;
         match state {
@@ -711,8 +754,8 @@ impl System {
                     blk.version
                 };
                 self.send(t, home, p.node(), block, MsgKind::DataShared { version });
-                let spec_t = self.fr_speculate(t, slot, block);
-                self.lock_reply(now, slot, block, spec_t.unwrap_or(t).max(t));
+                let spec_t = self.fr_speculate(t, slot, vslot, block);
+                self.lock_reply(now, slot, vslot, block, spec_t.unwrap_or(t).max(t));
             }
             DirState::Exclusive(owner) if owner != p => {
                 self.send(
@@ -738,6 +781,7 @@ impl System {
         &mut self,
         now: Cycle,
         slot: DirSlot,
+        vslot: Option<VSlot>,
         block: BlockAddr,
         kind: ReqKind,
         p: ProcId,
@@ -746,15 +790,15 @@ impl System {
         let state = self.dblk(slot).state;
         match state {
             DirState::Idle => {
-                let sent = self.grant_exclusive(now, slot, block, p, false);
-                self.lock_reply(now, slot, block, sent);
+                let sent = self.grant_exclusive(now, slot, vslot, block, p, false);
+                self.lock_reply(now, slot, vslot, block, sent);
             }
             DirState::Shared(readers) => {
                 let others = readers - ReaderSet::single(p);
                 let in_place = kind == ReqKind::Upgrade && readers.contains(p);
                 if others.is_empty() {
-                    let sent = self.grant_exclusive(now, slot, block, p, in_place);
-                    self.lock_reply(now, slot, block, sent);
+                    let sent = self.grant_exclusive(now, slot, vslot, block, p, in_place);
+                    self.lock_reply(now, slot, vslot, block, sent);
                 } else {
                     for r in others.iter() {
                         self.send(now, home, r.node(), block, MsgKind::Inval);
@@ -798,6 +842,7 @@ impl System {
         &mut self,
         now: Cycle,
         slot: DirSlot,
+        vslot: Option<VSlot>,
         block: BlockAddr,
         p: ProcId,
         in_place: bool,
@@ -809,7 +854,7 @@ impl System {
         // to anyone else means production simply moved on.
         if let Some((owner, ticket)) = self.dblk_ref(slot).swi_pending {
             if p == owner {
-                self.resolve_swi_premature(slot, block, ticket);
+                self.resolve_swi_premature(slot, vslot, block, ticket);
             } else {
                 self.dblk(slot).swi_pending = None;
             }
@@ -834,7 +879,14 @@ impl System {
     /// speculative batch) has left the directory. Prevents a later
     /// request's invalidations from overtaking the data on the same
     /// home→processor path.
-    fn lock_reply(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr, until: Cycle) {
+    fn lock_reply(
+        &mut self,
+        now: Cycle,
+        slot: DirSlot,
+        vslot: Option<VSlot>,
+        block: BlockAddr,
+        until: Cycle,
+    ) {
         if until <= now {
             return;
         }
@@ -853,12 +905,13 @@ impl System {
             }) => *u = (*u).max(until),
             Some(other) => unreachable!("reply lock over active transaction {other:?}"),
         }
-        self.queue.schedule(until, Event::DirRelease(slot, block));
+        self.queue
+            .schedule(until, Event::DirRelease(slot, vslot, block));
     }
 
     /// A reply-hold expires: release the block if this was its final
     /// deadline and serve queued requests.
-    fn dir_release(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) {
+    fn dir_release(&mut self, now: Cycle, slot: DirSlot, vslot: Option<VSlot>, block: BlockAddr) {
         let blk = self.dblk(slot);
         if let Some(Txn {
             kind: TxnKind::Reply { until },
@@ -867,7 +920,7 @@ impl System {
         {
             if now >= until {
                 blk.busy = None;
-                self.drain_pending(now, slot, block);
+                self.drain_pending(now, slot, vslot, block);
             }
         }
     }
@@ -876,6 +929,7 @@ impl System {
         &mut self,
         now: Cycle,
         slot: DirSlot,
+        vslot: Option<VSlot>,
         block: BlockAddr,
         proc: ProcId,
         spec_unused: bool,
@@ -884,7 +938,9 @@ impl System {
             trace.record(block, DirMsg::ack_inv(proc));
         }
         // Speculation verification via the piggy-backed reference bit.
-        self.spec.note_invalidated(block, proc, spec_unused);
+        if let Some(vs) = vslot {
+            self.spec.note_invalidated(vs, block, proc, spec_unused);
+        }
         // A referenced copy is consumption evidence for a pending SWI.
         if !spec_unused {
             self.dblk(slot).swi_pending = None;
@@ -897,7 +953,7 @@ impl System {
         assert!(txn.acks_left > 0, "unexpected InvAck for {block}");
         txn.acks_left -= 1;
         if txn.acks_left == 0 && !txn.awaiting_wb {
-            self.complete_txn(now, slot, block);
+            self.complete_txn(now, slot, vslot, block);
         }
     }
 
@@ -905,6 +961,7 @@ impl System {
         &mut self,
         now: Cycle,
         slot: DirSlot,
+        vslot: Option<VSlot>,
         block: BlockAddr,
         proc: ProcId,
         version: u64,
@@ -921,11 +978,11 @@ impl System {
         assert!(txn.awaiting_wb, "unexpected writeback for {block}");
         txn.awaiting_wb = false;
         if txn.acks_left == 0 {
-            self.complete_txn(now, slot, block);
+            self.complete_txn(now, slot, vslot, block);
         }
     }
 
-    fn complete_txn(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) {
+    fn complete_txn(&mut self, now: Cycle, slot: DirSlot, vslot: Option<VSlot>, block: BlockAddr) {
         let home = slot.home;
         let txn = self
             .dblk(slot)
@@ -948,15 +1005,15 @@ impl System {
                     block,
                     MsgKind::DataShared { version },
                 );
-                let spec_t = self.fr_speculate(t, slot, block);
-                self.lock_reply(now, slot, block, spec_t.unwrap_or(t).max(t));
+                let spec_t = self.fr_speculate(t, slot, vslot, block);
+                self.lock_reply(now, slot, vslot, block, spec_t.unwrap_or(t).max(t));
             }
             TxnKind::WriteLike {
                 requester,
                 in_place,
             } => {
-                let sent = self.grant_exclusive(now, slot, block, requester, in_place);
-                self.lock_reply(now, slot, block, sent);
+                let sent = self.grant_exclusive(now, slot, vslot, block, requester, in_place);
+                self.lock_reply(now, slot, vslot, block, sent);
             }
             TxnKind::Swi { owner, ticket } => {
                 // Successful speculative invalidation: memory is clean.
@@ -966,15 +1023,15 @@ impl System {
                     blk.state = DirState::Idle;
                     blk.swi_pending = Some((owner, ticket));
                 }
-                let spec_t = self.swi_read_speculate(t, slot, block);
-                self.lock_reply(now, slot, block, spec_t.unwrap_or(t).max(t));
+                let spec_t = self.swi_read_speculate(t, slot, vslot, block);
+                self.lock_reply(now, slot, vslot, block, spec_t.unwrap_or(t).max(t));
             }
             TxnKind::Reply { .. } => unreachable!("reply holds complete via DirRelease"),
         }
-        self.drain_pending(now, slot, block);
+        self.drain_pending(now, slot, vslot, block);
     }
 
-    fn drain_pending(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) {
+    fn drain_pending(&mut self, now: Cycle, slot: DirSlot, vslot: Option<VSlot>, block: BlockAddr) {
         loop {
             let blk = self.dblk(slot);
             if blk.busy.is_some() {
@@ -983,7 +1040,7 @@ impl System {
             let Some((kind, p)) = blk.pending.pop_front() else {
                 return;
             };
-            self.dir_process(now, slot, block, kind, p);
+            self.dir_process(now, slot, vslot, block, kind, p);
         }
     }
 
@@ -1004,20 +1061,34 @@ impl System {
     /// FR: after serving a demand read, forward read-only copies to the
     /// remaining predicted readers. Returns the time the speculative
     /// batch left, if any.
-    fn fr_speculate(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) -> Option<Cycle> {
+    fn fr_speculate(
+        &mut self,
+        now: Cycle,
+        slot: DirSlot,
+        vslot: Option<VSlot>,
+        block: BlockAddr,
+    ) -> Option<Cycle> {
         if !self.spec.policy.fr_enabled() {
             return None;
         }
-        let (vec, ticket) = self.spec.vmsp.predicted_readers(block)?;
-        self.spec_forward(now, slot, block, vec, ticket, Trigger::Fr)
+        let vslot = vslot?;
+        let (vec, ticket) = self.spec.vmsp.predicted_readers(vslot, block)?;
+        self.spec_forward(now, slot, vslot, block, vec, ticket, SpecTrigger::Fr)
     }
 
     /// SWI: after a successful speculative write invalidation, forward
     /// the block to the whole predicted read sequence. Returns the time
     /// the speculative batch left, if any.
-    fn swi_read_speculate(&mut self, now: Cycle, slot: DirSlot, block: BlockAddr) -> Option<Cycle> {
-        let (vec, ticket) = self.spec.vmsp.predicted_readers(block)?;
-        self.spec_forward(now, slot, block, vec, ticket, Trigger::Swi)
+    fn swi_read_speculate(
+        &mut self,
+        now: Cycle,
+        slot: DirSlot,
+        vslot: Option<VSlot>,
+        block: BlockAddr,
+    ) -> Option<Cycle> {
+        let vslot = vslot?;
+        let (vec, ticket) = self.spec.vmsp.predicted_readers(vslot, block)?;
+        self.spec_forward(now, slot, vslot, block, vec, ticket, SpecTrigger::Swi)
     }
 
     /// Forwards one speculative read-only copy of `block` to every
@@ -1025,14 +1096,16 @@ impl System {
     /// built once; the per-destination deliveries fan out through an
     /// inline [`DeliveryBatch`](crate::DeliveryBatch) in a single pass
     /// over the network (no per-destination message re-materialization).
+    #[allow(clippy::too_many_arguments)]
     fn spec_forward(
         &mut self,
         now: Cycle,
         slot: DirSlot,
+        vslot: VSlot,
         block: BlockAddr,
         vec: ReaderSet,
         ticket: SpecTicket,
-        trigger: Trigger,
+        trigger: SpecTrigger,
     ) -> Option<Cycle> {
         let home = slot.home;
         let (targets, version) = {
@@ -1067,29 +1140,34 @@ impl System {
             );
         }
         for r in targets.iter() {
-            self.spec.note_sent(block, r, ticket, trigger);
+            self.spec.note_sent(vslot, block, r, ticket, trigger);
         }
         {
             let blk = self.dblk(slot);
             let merged = blk.sharers() | targets;
             blk.state = DirState::Shared(merged);
         }
-        self.spec.vmsp.speculate_readers(block, targets);
+        self.spec.vmsp.speculate_readers(vslot, block, targets);
         Some(t)
     }
 
     /// Attempts an SWI invalidation of `prev` (the block `owner` wrote
-    /// before its current write).
+    /// before its current write). `prev` is a different block from the
+    /// one the triggering message named, so its slots are resolved
+    /// here — once, like `deliver` does for the message's own block.
     fn try_swi(&mut self, now: Cycle, home: NodeId, prev: BlockAddr, owner: ProcId) {
         let slot = self.dirs[home.0].slot_of(prev);
+        let Some(vslot) = self.spec.vmsp.resolve(home, prev) else {
+            return;
+        };
         let eligible = {
             let b = self.dblk_ref(slot);
             b.busy.is_none() && b.state == DirState::Exclusive(owner)
         };
-        if !eligible || !self.spec.vmsp.swi_allowed(prev) {
+        if !eligible || !self.spec.vmsp.swi_allowed(vslot, prev) {
             return;
         }
-        let ticket = self.spec.vmsp.swi_ticket(prev);
+        let ticket = self.spec.vmsp.swi_ticket(vslot, prev);
         self.send(
             now,
             home,
@@ -1122,7 +1200,7 @@ fn ack_delay(now: Cycle, p: ProcId, jitter: u64) -> u64 {
     (z ^ (z >> 31)) % jitter
 }
 
-impl fmt::Debug for System {
+impl<V: SpecStore> fmt::Debug for GenericSystem<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("System")
             .field("workload", &self.workload_name)

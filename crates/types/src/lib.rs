@@ -38,6 +38,7 @@
 mod addr;
 mod config;
 mod error;
+mod geometry;
 mod ids;
 mod msg;
 mod ops;
@@ -46,6 +47,7 @@ mod readers;
 pub use addr::BlockAddr;
 pub use config::{LatencyConfig, MachineConfig, PAPER_BLOCK_BYTES, PAPER_NODES};
 pub use error::ConfigError;
+pub use geometry::HomeGeometry;
 pub use ids::{NodeId, ProcId, MAX_PROCS};
 pub use msg::{AckKind, DirMsg, ReqKind};
 pub use ops::{LockId, Op, OpStream, Workload};

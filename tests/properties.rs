@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 
-use specdsm::core::{evaluate_trace, DirectoryTrace, PredictorKind};
+use specdsm::core::{evaluate_trace, DirectoryTrace, Observation, PredictorKind, SpecTicket, Vmsp};
 use specdsm::prelude::*;
-use specdsm::protocol::{System, SystemConfig};
+use specdsm::protocol::{MapSpecStore, SpecStore, SpecTrigger, System, SystemConfig};
 use specdsm::sim::{Cycle, EventQueue, FifoResource};
 use specdsm::types::NodeId;
 
@@ -339,4 +339,149 @@ proptest! {
         let addr = m.page_on(NodeId(node), index);
         prop_assert_eq!(m.home_of(addr), NodeId(node));
     }
+}
+
+// ---------------------------------------------------------------------
+// Arena speculation store vs the naive map model
+// ---------------------------------------------------------------------
+
+/// The externally observable result of one speculation-store operation,
+/// for diffing the arena store against the map model step by step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecEffect {
+    Observed(Observation),
+    Predicted(Option<(ReaderSet, SpecTicket)>),
+    /// `(a ticket was open, the prune changed an entry)`.
+    ClosedPruned(bool, bool),
+    /// `(swi allowed, current-context ticket)`.
+    SwiProbe(bool, Option<SpecTicket>),
+    /// Feedback through a *stale* ticket: `(prune changed an entry,
+    /// swi allowed afterwards)`.
+    StaleFeedback(bool, bool),
+    Noop,
+}
+
+/// Replays one random operation sequence through any [`SpecStore`],
+/// recording every observable effect plus the final accuracy stats and
+/// pattern-entry count. Running it for the arena and the map model and
+/// diffing the outputs is the whole property.
+fn replay_spec_ops<V: SpecStore>(
+    ops: &[(u8, usize, usize)],
+) -> (Vec<SpecEffect>, specdsm::core::PredictorStats, u64) {
+    let m = MachineConfig::paper_machine();
+    let mut store = V::build(1, &m);
+    // Blocks spanning three homes, including two that share home 0 (and
+    // therefore one dense arena).
+    let blocks = [
+        m.page_on(NodeId(0), 0),
+        m.page_on(NodeId(0), 0).offset(1),
+        m.page_on(NodeId(1), 0),
+        m.page_on(NodeId(3), 2).offset(5),
+    ];
+    // Tickets handed out earlier — including ones whose entry has since
+    // been pruned away, so stale feedback (the documented
+    // `mark_swi_premature`-after-evict no-op) is exercised.
+    let mut pool: Vec<(BlockAddr, SpecTicket)> = Vec::new();
+    let mut effects = Vec::new();
+    for &(kind, bi, pi) in ops {
+        let block = blocks[bi % blocks.len()];
+        let home = m.home_of(block);
+        let slot = store.resolve(home, block).expect("block is homed");
+        let proc = ProcId(pi);
+        let effect = match kind % 7 {
+            0 => SpecEffect::Observed(store.observe(slot, block, DirMsg::read(proc))),
+            1 => SpecEffect::Observed(store.observe(slot, block, DirMsg::write(proc))),
+            2 => SpecEffect::Observed(store.observe(slot, block, DirMsg::upgrade(proc))),
+            3 => {
+                let pred = store.predicted_readers(slot, block);
+                if let Some((_, ticket)) = pred {
+                    pool.push((block, ticket));
+                    store.open_ticket(slot, block, proc, ticket, SpecTrigger::Fr);
+                }
+                SpecEffect::Predicted(pred)
+            }
+            4 => {
+                // Verification feedback: close the ticket and, as the
+                // engine would on an unused copy, prune the reader.
+                match store.close_ticket(slot, block, proc) {
+                    Some((ticket, _)) => {
+                        let pruned = store.prune_reader(slot, block, ticket, proc);
+                        SpecEffect::ClosedPruned(true, pruned)
+                    }
+                    None => SpecEffect::ClosedPruned(false, false),
+                }
+            }
+            5 => {
+                let allowed = store.swi_allowed(slot, block);
+                let ticket = store.swi_ticket(slot, block);
+                if let Some(t) = ticket {
+                    pool.push((block, t));
+                    store.mark_swi_premature(slot, block, t);
+                }
+                SpecEffect::SwiProbe(allowed, ticket)
+            }
+            _ => {
+                if pool.is_empty() {
+                    SpecEffect::Noop
+                } else {
+                    let (b, ticket) = pool[pi % pool.len()];
+                    let s = store.resolve(m.home_of(b), b).expect("block is homed");
+                    let pruned = store.prune_reader(s, b, ticket, proc);
+                    store.mark_swi_premature(s, b, ticket);
+                    SpecEffect::StaleFeedback(pruned, store.swi_allowed(s, b))
+                }
+            }
+        };
+        effects.push(effect);
+    }
+    (effects, store.predictor_stats(), store.storage().entries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_spec_store_matches_map_model_under_random_interleavings(
+        ops in proptest::collection::vec((0u8..7, 0usize..4, 0usize..6), 1..250),
+    ) {
+        let (arena_fx, arena_stats, arena_entries) = replay_spec_ops::<Vmsp>(&ops);
+        let (map_fx, map_stats, map_entries) = replay_spec_ops::<MapSpecStore>(&ops);
+        for (i, (a, m)) in arena_fx.iter().zip(&map_fx).enumerate() {
+            prop_assert_eq!(a, m, "step {} of {:?}", i, ops);
+        }
+        prop_assert_eq!(arena_stats, map_stats);
+        prop_assert_eq!(arena_entries, map_entries);
+    }
+}
+
+#[test]
+fn mark_swi_premature_after_evict_is_a_noop_in_both_stores() {
+    // The documented PR 1 drift: suppression state lives in the pattern
+    // entry, so feedback arriving after the entry was pruned away must
+    // change nothing — in the arena exactly as in the map model.
+    fn scenario<V: SpecStore>() -> (bool, u64) {
+        let m = MachineConfig::paper_machine();
+        let mut store = V::build(1, &m);
+        let b = m.page_on(NodeId(2), 0);
+        let slot = store.resolve(NodeId(2), b).unwrap();
+        for _ in 0..5 {
+            store.observe(slot, b, DirMsg::upgrade(ProcId(3)));
+            store.observe(slot, b, DirMsg::read(ProcId(1)));
+            store.observe(slot, b, DirMsg::read(ProcId(2)));
+        }
+        store.observe(slot, b, DirMsg::upgrade(ProcId(3)));
+        let (readers, ticket) = store.predicted_readers(slot, b).expect("trained");
+        // Prune every predicted reader: the vector entry is evicted.
+        for r in readers.iter() {
+            assert!(store.prune_reader(slot, b, ticket, r));
+        }
+        assert!(store.predicted_readers(slot, b).is_none(), "entry evicted");
+        // Late SWI feedback through the stale ticket: must be a no-op.
+        store.mark_swi_premature(slot, b, ticket);
+        (store.swi_allowed(slot, b), store.storage().entries)
+    }
+    let arena = scenario::<Vmsp>();
+    let map = scenario::<MapSpecStore>();
+    assert_eq!(arena, map);
+    assert!(arena.0, "no entry, so nothing is suppressed");
 }
