@@ -11,7 +11,10 @@
 //!   nodes) under all three system policies — wall time, simulation
 //!   events processed, and events/second — alongside the recorded
 //!   seed baseline (BinaryHeap event queue + per-home `HashMap`
-//!   directories) so the speedup is visible in one file.
+//!   directories) so the speedup is visible in one file; plus the
+//!   `scaling` section: the nodes × worker-threads matrix (16/64/256
+//!   nodes, sequential vs windowed 1/2/4 workers) of the sharded
+//!   engine.
 //!
 //! ```text
 //! perf_snapshot [--out FILE] [--protocol-out FILE] [--skip-protocol]
@@ -23,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use specdsm_bench::producer_consumer_stream;
 use specdsm_core::{History, PatternTable, PredictorKind, Symbol};
-use specdsm_protocol::{SpecPolicy, System, SystemConfig};
+use specdsm_protocol::{EngineConfig, SpecPolicy, System, SystemConfig};
 use specdsm_types::{MachineConfig, ProcId, ReaderSet, ReqKind};
 use specdsm_workloads::{AppId, Scale};
 
@@ -225,6 +228,59 @@ fn protocol_rows() -> Vec<ProtoRow> {
     rows
 }
 
+struct ScalingRow {
+    nodes: usize,
+    scale: &'static str,
+    /// 0 = the sequential single-shard engine; otherwise windowed with
+    /// this many worker threads.
+    threads: usize,
+    wall_ms: f64,
+    sim_events: u64,
+    exec_cycles: u64,
+}
+
+/// The nodes × worker-threads scaling matrix over em3d (the most
+/// communication-bound app): 16 nodes (the paper machine), 64 (the
+/// former `ReaderSet` ceiling), and 256 (well past it, quick inputs to
+/// bound runtime). Each node count runs the sequential engine once and
+/// the windowed engine at 1, 2, and 4 workers.
+fn scaling_rows() -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for (nodes, scale, scale_name) in [
+        (16usize, Scale::Default, "Default"),
+        (64, Scale::Default, "Default"),
+        (256, Scale::Quick, "Quick"),
+    ] {
+        let machine = MachineConfig::with_nodes(nodes);
+        let w = AppId::Em3d.build(&machine, scale);
+        for threads in [0usize, 1, 2, 4] {
+            let engine = if threads == 0 {
+                EngineConfig::Sequential
+            } else {
+                EngineConfig::Windowed { threads }
+            };
+            let cfg = SystemConfig {
+                machine: machine.clone(),
+                policy: SpecPolicy::SwiFr,
+                engine,
+                ..SystemConfig::default()
+            };
+            let sys = System::new(cfg, w.as_ref()).expect("valid");
+            let start = Instant::now();
+            let stats = sys.run();
+            rows.push(ScalingRow {
+                nodes,
+                scale: scale_name,
+                threads,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                sim_events: stats.sim_events,
+                exec_cycles: stats.exec_cycles,
+            });
+        }
+    }
+    rows
+}
+
 /// Pre-arena (PR 2 engine: map-based online VMSP + `(block, proc)`
 /// ticket map) speculative-policy overhead on this container, computed
 /// from that commit's recorded per-run walls. The arena rework's goal
@@ -251,7 +307,7 @@ fn policy_overhead(rows: &[ProtoRow], policy: &str) -> (f64, f64) {
     )
 }
 
-fn render_protocol_json(rows: &[ProtoRow]) -> String {
+fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow]) -> String {
     let suite_wall_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
     let total_events: u64 = rows.iter().map(|r| r.sim_events).sum();
     let events_per_sec = total_events as f64 / (suite_wall_ms / 1e3);
@@ -328,6 +384,32 @@ fn render_protocol_json(rows: &[ProtoRow]) -> String {
             "    {{\"app\": \"{}\", \"policy\": \"{}\", \"wall_ms\": {:.1}, \
              \"sim_events\": {}, \"events_per_sec\": {:.0}, \"exec_cycles\": {}}}{comma}",
             r.app, r.policy, r.wall_ms, r.sim_events, eps, r.exec_cycles
+        );
+    }
+    out.push_str("  ],\n");
+    // The nodes × worker-threads matrix (em3d, SWI-DSM). `threads: 0`
+    // is the sequential single-shard engine; `threads >= 1` the
+    // windowed sharded engine. Worker speedup only materializes on
+    // multi-core hosts: on a single-CPU container the workers
+    // timeshare and the barrier overhead is all that remains, so read
+    // the 2/4-thread walls together with `host_cpus`.
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    out.push_str("  \"scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        let comma = if i + 1 == scaling.len() { "" } else { "," };
+        let eps = r.sim_events as f64 / (r.wall_ms / 1e3);
+        let engine = if r.threads == 0 {
+            "sequential".to_string()
+        } else {
+            format!("windowed-{}t", r.threads)
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"app\": \"em3d\", \"nodes\": {}, \"scale\": \"{}\", \"engine\": \"{engine}\", \
+             \"threads\": {}, \"wall_ms\": {:.1}, \"sim_events\": {}, \"events_per_sec\": {:.0}, \
+             \"exec_cycles\": {}}}{comma}",
+            r.nodes, r.scale, r.threads, r.wall_ms, r.sim_events, eps, r.exec_cycles
         );
     }
     out.push_str("  ],\n");
@@ -431,7 +513,9 @@ fn main() {
     }
     eprintln!("running end-to-end suite (7 apps x 3 policies, default scale)...");
     let rows = protocol_rows();
-    let json = render_protocol_json(&rows);
+    eprintln!("running scaling matrix (nodes 16/64/256 x engines)...");
+    let scaling = scaling_rows();
+    let json = render_protocol_json(&rows, &scaling);
     print!("{json}");
     if let Err(e) = std::fs::write(&protocol_out_path, &json) {
         eprintln!("cannot write {protocol_out_path}: {e}");

@@ -2,11 +2,17 @@
 //! evaluation section.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--scale quick|default|paper] [--out DIR]
+//! repro [EXPERIMENT ...] [--scale quick|default|paper] [--threads N]
+//!       [--out DIR]
 //!
 //! EXPERIMENT: config fig6 fig7 fig8 table3 table4 fig9 table5 all
 //!             (default: all)
 //! ```
+//!
+//! `--threads N` runs the simulations on the windowed sharded engine
+//! with N worker threads (default: the sequential engine; results can
+//! differ from it only in deterministic same-cycle tie-breaking — see
+//! `docs/ARCHITECTURE.md`).
 //!
 //! Output goes to stdout and, with `--out`, one text file per
 //! experiment in DIR.
@@ -23,6 +29,7 @@ fn main() {
     let mut experiments: Vec<String> = Vec::new();
     let mut scale = Scale::Default;
     let mut out_dir: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,6 +46,13 @@ fn main() {
                     }
                 };
             }
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                threads = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                }));
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -48,7 +62,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [config|fig6|fig7|fig8|table3|table4|fig9|table5|all ...] \
-                     [--scale quick|default|paper] [--out DIR]"
+                     [--scale quick|default|paper] [--threads N] [--out DIR]"
                 );
                 return;
             }
@@ -69,6 +83,9 @@ fn main() {
     }
 
     let mut lab = Lab::new(scale);
+    if let Some(threads) = threads {
+        lab.set_threads(threads);
+    }
     for exp in &experiments {
         let text = match exp.as_str() {
             "config" => render_config(),

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use specdsm_core::DirectoryTrace;
-use specdsm_protocol::{RunStats, SpecPolicy, System, SystemConfig};
+use specdsm_protocol::{EngineConfig, RunStats, SpecPolicy, System, SystemConfig};
 use specdsm_types::MachineConfig;
 use specdsm_workloads::{AppId, Scale};
 
@@ -14,6 +14,7 @@ use specdsm_workloads::{AppId, Scale};
 pub struct Lab {
     machine: MachineConfig,
     scale: Scale,
+    engine: EngineConfig,
     traces: HashMap<AppId, DirectoryTrace>,
     runs: HashMap<(AppId, SpecPolicy), RunStats>,
 }
@@ -26,9 +27,23 @@ impl Lab {
         Lab {
             machine: MachineConfig::paper_machine(),
             scale,
+            engine: EngineConfig::Sequential,
             traces: HashMap::new(),
             runs: HashMap::new(),
         }
+    }
+
+    /// Switches every subsequent simulation onto the windowed sharded
+    /// engine with `threads` workers (`repro --threads N`). Cached runs
+    /// are dropped — engine choice is part of the cache key in spirit.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine = if threads == 0 {
+            EngineConfig::Sequential
+        } else {
+            EngineConfig::Windowed { threads }
+        };
+        self.traces.clear();
+        self.runs.clear();
     }
 
     /// The machine all experiments run on.
@@ -52,6 +67,7 @@ impl Lab {
                 machine: self.machine.clone(),
                 policy: SpecPolicy::Base,
                 record_trace: true,
+                engine: self.engine,
                 ..SystemConfig::default()
             };
             let stats = System::new(cfg, workload.as_ref())
@@ -70,6 +86,7 @@ impl Lab {
             let cfg = SystemConfig {
                 machine: self.machine.clone(),
                 policy,
+                engine: self.engine,
                 ..SystemConfig::default()
             };
             let stats = System::new(cfg, workload.as_ref())

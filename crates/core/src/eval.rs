@@ -53,6 +53,18 @@ impl DirectoryTrace {
         self.blocks.entry(block).or_default().push(msg);
     }
 
+    /// Folds another trace into this one, block by block.
+    ///
+    /// The sharded protocol engine records one trace per home shard;
+    /// since a block's messages are all observed at its home, the
+    /// per-block streams of two shards are disjoint and the merge
+    /// simply appends (per-block arrival order is preserved).
+    pub fn merge(&mut self, other: DirectoryTrace) {
+        for (block, msgs) in other.blocks {
+            self.blocks.entry(block).or_default().extend(msgs);
+        }
+    }
+
     /// Number of distinct blocks with traffic.
     #[must_use]
     pub fn num_blocks(&self) -> usize {

@@ -12,7 +12,7 @@ use specdsm_types::{AckKind, DirMsg, ProcId, ReaderSet, ReqKind};
 /// * MSP uses only [`Symbol::Req`].
 /// * VMSP uses [`Symbol::Req`] for writes/upgrades and
 ///   [`Symbol::ReadVec`] for whole read sequences.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Symbol {
     /// A request message `<kind, proc>`.
     Req(ReqKind, ProcId),
@@ -45,8 +45,8 @@ impl Symbol {
     /// The reader vector if this symbol is a read sequence.
     #[must_use]
     pub fn read_vec(&self) -> Option<ReaderSet> {
-        match *self {
-            Symbol::ReadVec(v) => Some(v),
+        match self {
+            Symbol::ReadVec(v) => Some(v.clone()),
             _ => None,
         }
     }
@@ -57,12 +57,15 @@ impl Symbol {
     /// folded in afterwards, so a wide [`ReadVec`](Symbol::ReadVec)
     /// loses no reader bits (a packed single-word encoding would have
     /// to truncate the vector to make room for the tag — fatal now
-    /// that the result indexes the pattern tables). The additive
-    /// constant keeps the all-zero pair (`<Read, P0>`) away from the
-    /// mix function's zero fixed point.
+    /// that the result indexes the pattern tables). For read vectors
+    /// the payload is [`ReaderSet::mix64`]: identical to the raw bit
+    /// word for machines up to 64 processors (so pattern keys are
+    /// unchanged by the hybrid-bitset rework), a whole-vector fold for
+    /// spilled sets. The additive constant keeps the all-zero pair
+    /// (`<Read, P0>`) away from the mix function's zero fixed point.
     #[must_use]
     pub(crate) fn mixed(&self) -> u64 {
-        let (tag, payload): (u64, u64) = match *self {
+        let (tag, payload): (u64, u64) = match self {
             Symbol::Req(kind, p) => {
                 let k = match kind {
                     ReqKind::Read => 0u64,
@@ -78,7 +81,7 @@ impl Symbol {
                 };
                 (k, p.0 as u64)
             }
-            Symbol::ReadVec(v) => (5, v.bits()),
+            Symbol::ReadVec(v) => (5, v.mix64()),
         };
         splitmix64(splitmix64(tag.wrapping_add(0x9E37_79B9_7F4A_7C15)).wrapping_add(payload))
     }
@@ -136,7 +139,10 @@ impl fmt::Display for Symbol {
 ///
 /// // Incremental and batch construction agree.
 /// let w = Symbol::Req(ReqKind::Write, ProcId(1));
-/// assert_eq!(HistoryKey::EMPTY.push(h[0]).push(w), HistoryKey::of(&[h[0], w]));
+/// assert_eq!(
+///     HistoryKey::EMPTY.push(&h[0]).push(&w),
+///     HistoryKey::of(&[h[0].clone(), w]),
+/// );
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct HistoryKey(u64);
@@ -154,12 +160,12 @@ impl HistoryKey {
     pub fn of(history: &[Symbol]) -> HistoryKey {
         history
             .iter()
-            .fold(HistoryKey::EMPTY, |key, &sym| key.push(sym))
+            .fold(HistoryKey::EMPTY, |key, sym| key.push(sym))
     }
 
     /// Key of the window extended by one symbol: `key·B + mixed(sym)`.
     #[must_use]
-    pub fn push(self, sym: Symbol) -> HistoryKey {
+    pub fn push(self, sym: &Symbol) -> HistoryKey {
         HistoryKey(self.0.wrapping_mul(Self::BASE).wrapping_add(sym.mixed()))
     }
 
@@ -168,7 +174,7 @@ impl HistoryKey {
     /// `B^d`, precomputed once per register (see
     /// [`History`](crate::History)).
     #[must_use]
-    pub(crate) fn shift(self, outgoing: Symbol, incoming: Symbol, base_pow_depth: u64) -> Self {
+    pub(crate) fn shift(self, outgoing: &Symbol, incoming: &Symbol, base_pow_depth: u64) -> Self {
         HistoryKey(
             self.0
                 .wrapping_mul(Self::BASE)
@@ -253,8 +259,11 @@ mod tests {
     fn history_key_distinguishes_order() {
         let a = Symbol::Req(ReqKind::Read, ProcId(1));
         let b = Symbol::Req(ReqKind::Read, ProcId(2));
-        assert_ne!(HistoryKey::of(&[a, b]), HistoryKey::of(&[b, a]));
-        assert_ne!(HistoryKey::of(&[a]), HistoryKey::of(&[a, a]));
+        let of = |syms: &[&Symbol]| {
+            HistoryKey::of(&syms.iter().map(|s| (*s).clone()).collect::<Vec<_>>())
+        };
+        assert_ne!(of(&[&a, &b]), of(&[&b, &a]));
+        assert_ne!(of(&[&a]), of(&[&a, &a]));
     }
 
     #[test]
@@ -273,10 +282,10 @@ mod tests {
             let pow = HistoryKey::base_pow(depth);
             let mut window: Vec<Symbol> = syms[..depth].to_vec();
             let mut key = HistoryKey::of(&window);
-            for &incoming in &syms[depth..] {
+            for incoming in &syms[depth..] {
                 let outgoing = window.remove(0);
-                window.push(incoming);
-                key = key.shift(outgoing, incoming, pow);
+                window.push(incoming.clone());
+                key = key.shift(&outgoing, incoming, pow);
                 assert_eq!(key, HistoryKey::of(&window), "depth {depth}");
             }
         }

@@ -41,7 +41,7 @@ use crate::symbol::{HistoryKey, Symbol};
 /// One pattern-table entry: the observed immediate successor of a
 /// history window, "the prediction ... when the sequence last occurred"
 /// (paper §2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PatternEntry {
     /// Predicted next symbol.
     pub prediction: Symbol,
@@ -104,7 +104,7 @@ impl PatternTable {
             return None;
         }
         keyed.entry.uses += 1;
-        Some(keyed.entry.prediction)
+        Some(keyed.entry.prediction.clone())
     }
 
     /// Looks up the entry for `history`'s current window without
@@ -126,7 +126,7 @@ impl PatternTable {
     /// Only a first-time insert allocates (the owning-window box); the
     /// steady-state re-learn path is allocation-free.
     pub fn learn(&mut self, history: &History, successor: Symbol) {
-        if let Some(entry) = self.resident_or_insert(history, successor) {
+        if let Some(entry) = self.resident_or_insert(history, &successor) {
             entry.prediction = successor;
         }
     }
@@ -137,11 +137,10 @@ impl PatternTable {
     /// window's new successor (exactly like [`PatternTable::learn`]) —
     /// in a **single** keyed map access instead of two. This is the
     /// per-symbol hot path of every predictor's observe loop.
-    pub fn predict_and_learn(&mut self, history: &History, sym: Symbol) -> Option<Symbol> {
+    pub fn predict_and_learn(&mut self, history: &History, sym: &Symbol) -> Option<Symbol> {
         let entry = self.resident_or_insert(history, sym)?;
         entry.uses += 1;
-        let predicted = entry.prediction;
-        entry.prediction = sym;
+        let predicted = std::mem::replace(&mut entry.prediction, sym.clone());
         Some(predicted)
     }
 
@@ -157,7 +156,7 @@ impl PatternTable {
     fn resident_or_insert(
         &mut self,
         history: &History,
-        successor: Symbol,
+        successor: &Symbol,
     ) -> Option<&mut PatternEntry> {
         match self.entries.entry(history.key()) {
             std::collections::hash_map::Entry::Occupied(o) => {
@@ -166,14 +165,14 @@ impl PatternTable {
                     Some(&mut keyed.entry)
                 } else {
                     keyed.window = history.window_boxed();
-                    keyed.entry = PatternEntry::new(successor);
+                    keyed.entry = PatternEntry::new(successor.clone());
                     None
                 }
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(KeyedEntry {
                     window: history.window_boxed(),
-                    entry: PatternEntry::new(successor),
+                    entry: PatternEntry::new(successor.clone()),
                 });
                 None
             }
@@ -221,7 +220,7 @@ impl PatternTable {
         let Some(keyed) = self.entries.get_mut(&key) else {
             return false;
         };
-        let Symbol::ReadVec(mut v) = keyed.entry.prediction else {
+        let Symbol::ReadVec(v) = &mut keyed.entry.prediction else {
             return false;
         };
         if !v.remove(reader) {
@@ -229,8 +228,6 @@ impl PatternTable {
         }
         if v.is_empty() {
             self.entries.remove(&key);
-        } else {
-            keyed.entry.prediction = Symbol::ReadVec(v);
         }
         true
     }
@@ -322,12 +319,13 @@ impl History {
     /// one ring-slot overwrite plus the rolling-key update.
     pub fn push(&mut self, sym: Symbol) {
         if self.buf.len() < self.depth {
+            self.key = self.key.push(&sym);
             self.buf.push(sym);
-            self.key = self.key.push(sym);
         } else {
             let outgoing = std::mem::replace(&mut self.buf[self.head], sym);
+            let incoming = &self.buf[self.head];
+            self.key = self.key.shift(&outgoing, incoming, self.base_pow_depth);
             self.head = (self.head + 1) % self.depth;
-            self.key = self.key.shift(outgoing, sym, self.base_pow_depth);
         }
     }
 
@@ -345,22 +343,22 @@ impl History {
     }
 
     /// Iterates the current window, oldest symbol first.
-    pub fn window(&self) -> impl Iterator<Item = Symbol> + '_ {
+    pub fn window(&self) -> impl Iterator<Item = &Symbol> + '_ {
         let (wrapped, straight) = self.buf.split_at(self.head);
-        straight.iter().chain(wrapped).copied()
+        straight.iter().chain(wrapped)
     }
 
     /// Whether the current window equals `window` symbol-for-symbol.
     #[must_use]
     pub fn window_matches(&self, window: &[Symbol]) -> bool {
-        self.buf.len() == window.len() && self.window().eq(window.iter().copied())
+        self.buf.len() == window.len() && self.window().eq(window.iter())
     }
 
     /// The current window as an owned boxed slice (oldest first); used
     /// when a pattern entry takes ownership of its window.
     #[must_use]
     pub fn window_boxed(&self) -> Box<[Symbol]> {
-        self.window().collect()
+        self.window().cloned().collect()
     }
 }
 
@@ -376,8 +374,8 @@ mod tests {
     /// A full history register whose window is exactly `syms`.
     fn history_of(syms: &[Symbol]) -> History {
         let mut h = History::new(syms.len());
-        for &s in syms {
-            h.push(s);
+        for s in syms {
+            h.push(s.clone());
         }
         h
     }
@@ -409,9 +407,9 @@ mod tests {
         for depth in 1..=4usize {
             let mut h = History::new(depth);
             let mut reference: Vec<Symbol> = Vec::new();
-            for &s in &stream {
-                h.push(s);
-                reference.push(s);
+            for s in &stream {
+                h.push(s.clone());
+                reference.push(s.clone());
                 if reference.len() > depth {
                     reference.remove(0);
                 }
@@ -512,22 +510,22 @@ mod tests {
         let mut split = PatternTable::new();
         let mut h = History::new(2);
         // Warm the history, then drive both tables in lockstep.
-        h.push(stream[0]);
-        h.push(stream[1]);
+        h.push(stream[0].clone());
+        h.push(stream[1].clone());
         for _ in 0..5 {
-            for &sym in &stream[2..] {
+            for sym in &stream[2..] {
                 let a = fused.predict_and_learn(&h, sym);
                 let b = split.predict(&h);
-                split.learn(&h, sym);
+                split.learn(&h, sym.clone());
                 assert_eq!(a, b);
-                h.push(sym);
+                h.push(sym.clone());
             }
         }
         assert_eq!(fused.len(), split.len());
         for (w, e) in fused.iter() {
             let mut probe = History::new(w.len());
-            for &s in w {
-                probe.push(s);
+            for s in w {
+                probe.push(s.clone());
             }
             assert_eq!(split.peek(&probe), Some(e));
         }
@@ -540,7 +538,7 @@ mod tests {
         t.learn(&h, req(ReqKind::Read, 2));
         assert!(t.set_swi_premature(h.key()));
         assert_eq!(
-            t.predict_and_learn(&h, req(ReqKind::Read, 3)),
+            t.predict_and_learn(&h, &req(ReqKind::Read, 3)),
             Some(req(ReqKind::Read, 2))
         );
         assert!(t.swi_suppressed(&h), "swi bit survives the fused path");

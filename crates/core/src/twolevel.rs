@@ -60,7 +60,7 @@ impl TwoLevel {
 
         let obs = if state.history.is_full() {
             // Fused predict + last-occurrence learn: one table access.
-            match state.table.predict_and_learn(&state.history, sym) {
+            match state.table.predict_and_learn(&state.history, &sym) {
                 Some(pred) => Observation::Predicted {
                     correct: pred == sym,
                 },
@@ -103,18 +103,18 @@ mod tests {
         let b = BlockAddr(1);
         let seq = [upgrade(3), read(1), read(2)];
         // First pass: warm-up + learning, no correct predictions.
-        for s in seq {
-            assert!(!t.observe_symbol(b, s).is_correct());
+        for s in &seq {
+            assert!(!t.observe_symbol(b, s.clone()).is_correct());
         }
         // Second pass: the loop-closing transition (read(2) -> upgrade)
         // is seen for the first time; everything else predicts.
-        assert!(!t.observe_symbol(b, seq[0]).is_predicted());
-        assert!(t.observe_symbol(b, seq[1]).is_correct());
-        assert!(t.observe_symbol(b, seq[2]).is_correct());
+        assert!(!t.observe_symbol(b, seq[0].clone()).is_predicted());
+        assert!(t.observe_symbol(b, seq[1].clone()).is_correct());
+        assert!(t.observe_symbol(b, seq[2].clone()).is_correct());
         // Third pass onward: every symbol predicted correctly.
         for _ in 0..3 {
-            for s in seq {
-                assert!(t.observe_symbol(b, s).is_correct(), "symbol {s}");
+            for s in &seq {
+                assert!(t.observe_symbol(b, s.clone()).is_correct(), "symbol {s}");
             }
         }
     }
@@ -131,7 +131,7 @@ mod tests {
             let mut wrong = 0;
             for _ in 0..50 {
                 for s in phase_a.iter().chain(&phase_b) {
-                    let obs = t.observe_symbol(b, *s);
+                    let obs = t.observe_symbol(b, s.clone());
                     if obs.is_predicted() && !obs.is_correct() {
                         wrong += 1;
                     }

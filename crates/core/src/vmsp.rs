@@ -363,15 +363,14 @@ impl Vmsp {
                 // A write/upgrade closes any open read phase: the
                 // accumulated vector becomes one history symbol.
                 if !b.open.is_empty() {
-                    let vec = Symbol::ReadVec(b.open);
+                    let vec = Symbol::ReadVec(std::mem::take(&mut b.open));
                     Self::commit(b, vec);
-                    b.open = ReaderSet::new();
                 }
                 let sym = Symbol::Req(kind, p);
                 // Fused predict + learn + history shift: one table
                 // access for the whole write-side commit.
                 let obs = if b.history.is_full() {
-                    match b.table.predict_and_learn(&b.history, sym) {
+                    match b.table.predict_and_learn(&b.history, &sym) {
                         Some(pred) => Observation::Predicted {
                             correct: pred == sym,
                         },
@@ -479,9 +478,9 @@ impl Vmsp {
         if !b.history.is_full() {
             return None;
         }
-        match b.table.peek(&b.history)?.prediction {
+        match &b.table.peek(&b.history)?.prediction {
             Symbol::ReadVec(v) => Some((
-                v,
+                v.clone(),
                 SpecTicket {
                     key: b.history.key(),
                 },
@@ -549,7 +548,7 @@ impl Vmsp {
     /// Commits a symbol: last-occurrence learn + history shift.
     fn commit(b: &mut VBlock, sym: Symbol) {
         if b.history.is_full() {
-            b.table.learn(&b.history, sym);
+            b.table.learn(&b.history, sym.clone());
         }
         b.history.push(sym);
     }

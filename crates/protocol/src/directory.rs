@@ -20,7 +20,7 @@ use specdsm_types::{BlockAddr, HomeGeometry, MachineConfig, NodeId, ProcId, Read
 
 /// Stable sharing state of a block at its home directory (paper
 /// Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirState {
     /// No remote copies.
     Idle,
@@ -123,8 +123,8 @@ impl DirBlock {
 
     /// Current sharers (empty unless `Shared`).
     pub fn sharers(&self) -> ReaderSet {
-        match self.state {
-            DirState::Shared(r) => r,
+        match &self.state {
+            DirState::Shared(r) => r.clone(),
             _ => ReaderSet::new(),
         }
     }
@@ -254,7 +254,8 @@ impl Directory {
     /// block is homed at a different node).
     #[must_use]
     pub fn state(&self, block: BlockAddr) -> DirState {
-        self.lookup(block).map_or(DirState::Idle, |b| b.state)
+        self.lookup(block)
+            .map_or(DirState::Idle, |b| b.state.clone())
     }
 
     /// Memory version of `block` (0 if never touched, or if the block
@@ -290,7 +291,7 @@ impl Directory {
             .iter()
             .enumerate()
             .filter(|(_, b)| b.touched)
-            .map(|(i, b)| (self.block_of(i), b.state, b.version))
+            .map(|(i, b)| (self.block_of(i), b.state.clone(), b.version))
     }
 
     /// Inverse of the dense index mapping: the block address of slot
@@ -343,7 +344,7 @@ impl Directory {
                     "{addr}: queued requests but no transaction"
                 );
             }
-            if let DirState::Shared(r) = b.state {
+            if let DirState::Shared(r) = &b.state {
                 assert!(!r.is_empty(), "{addr}: Shared with empty sharer set");
             }
         }
@@ -508,7 +509,7 @@ mod tests {
             let mut v: Vec<_> = self
                 .blocks
                 .iter()
-                .map(|(a, b)| (*a, b.state, b.version))
+                .map(|(a, b)| (*a, b.state.clone(), b.version))
                 .collect();
             v.sort_by_key(|(a, _, _)| a.0);
             v

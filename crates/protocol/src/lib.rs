@@ -68,6 +68,7 @@ mod directory;
 mod msg;
 mod network;
 mod processor;
+mod shard;
 mod spec;
 mod spec_ref;
 mod stats;
@@ -77,13 +78,13 @@ mod system;
 pub use cache::{Cache, LineState};
 pub use directory::{DirState, Directory};
 pub use msg::{Msg, MsgKind};
-pub use network::{DeliveryBatch, Network};
+pub use network::Network;
 pub use processor::Processor;
 pub use spec::{SpecPolicy, SpecStats, SpecStore};
 pub use spec_ref::MapSpecStore;
 pub use stats::{ProcStats, RunStats};
 pub use sync::{BarrierManager, LockManager};
-pub use system::{BuildError, GenericSystem, System, SystemConfig};
+pub use system::{BuildError, EngineConfig, GenericSystem, System, SystemConfig};
 
 // Re-exported so alternative [`SpecStore`] backends can be written
 // against this crate alone.

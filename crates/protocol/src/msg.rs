@@ -64,11 +64,10 @@ pub enum MsgKind {
     /// it has a demand request in flight for the block (the race rule,
     /// paper §4.2).
     ///
-    /// One FR/SWI trigger fans a single `SpecData` payload out to every
-    /// predicted reader via
-    /// [`Network::multicast`](crate::Network::multicast), which batches
-    /// the per-destination deliveries instead of re-materializing the
-    /// message per destination.
+    /// One FR/SWI trigger materializes a single `SpecData` payload and
+    /// fans it out to every predicted reader in ascending reader order
+    /// (one [`Network::depart`](crate::Network::depart) per
+    /// destination).
     SpecData {
         /// Write version of the delivered data.
         version: u64,

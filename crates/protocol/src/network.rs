@@ -1,53 +1,10 @@
 //! The point-to-point network with NI contention.
 
 use specdsm_sim::{Cycle, FifoResource};
-use specdsm_types::{LatencyConfig, NodeId, MAX_PROCS};
-
-/// Per-destination delivery times of one multicast, stored inline
-/// (no heap allocation — at most one slot per possible node).
-///
-/// Produced by [`Network::multicast`]; the protocol engine turns each
-/// `(destination, delivery cycle)` pair into one `Deliver` event while
-/// constructing the message payload only once.
-#[derive(Debug, Clone, Copy)]
-pub struct DeliveryBatch {
-    slots: [(NodeId, Cycle); MAX_PROCS],
-    len: usize,
-}
-
-impl DeliveryBatch {
-    fn new() -> Self {
-        DeliveryBatch {
-            slots: [(NodeId(0), Cycle::ZERO); MAX_PROCS],
-            len: 0,
-        }
-    }
-
-    fn push(&mut self, dst: NodeId, at: Cycle) {
-        self.slots[self.len] = (dst, at);
-        self.len += 1;
-    }
-
-    /// Number of deliveries in the batch.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether the batch is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// The `(destination, delivery time)` pairs, in send order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Cycle)> + '_ {
-        self.slots[..self.len].iter().copied()
-    }
-}
+use specdsm_types::{LatencyConfig, NodeId};
 
 /// Constant-latency point-to-point network with per-node network
-/// interfaces.
+/// interfaces, owned as a **node range** by one protocol shard.
 ///
 /// The paper assumes "a point-to-point network with a constant latency
 /// of 80 cycles but models contention at the network interfaces".
@@ -57,11 +14,29 @@ impl DeliveryBatch {
 /// cycles after its inbound NI slot starts; each NI serves one message
 /// every `ni_occupancy` cycles.
 ///
+/// A send decomposes into two halves, because in the sharded engine the
+/// two endpoints may live on different shards (and different worker
+/// threads):
+///
+/// * [`Network::depart`] — the *sender-side* half: counts the message,
+///   acquires the source's outbound NI, and returns the cycle the
+///   message reaches the destination's inbound NI (`at_dst`).
+/// * [`Network::arrive`] — the *receiver-side* half: acquires the
+///   destination's inbound NI at `at_dst` and returns the handoff
+///   cycle.
+///
+/// [`Network::send`] composes both for the case where one shard owns
+/// both endpoints (the sequential whole-machine shard); its timing is
+/// exactly the pre-shard monolithic network's.
+///
 /// Messages between a node and itself (processor ↔ local directory)
-/// bypass the network entirely.
+/// bypass the network entirely; the shard calls [`Network::note_local`]
+/// for accounting.
 #[derive(Debug)]
 pub struct Network {
     lat: LatencyConfig,
+    /// First owned node.
+    lo: usize,
     ni_out: Vec<FifoResource>,
     ni_in: Vec<FifoResource>,
     messages: u64,
@@ -69,69 +44,74 @@ pub struct Network {
 }
 
 impl Network {
-    /// Creates a network connecting `nodes` nodes.
+    /// Creates a network range covering nodes `0..nodes` (the
+    /// whole-machine form used by the sequential engine and tests).
     #[must_use]
     pub fn new(nodes: usize, lat: LatencyConfig) -> Self {
+        Self::with_range(0, nodes, lat)
+    }
+
+    /// Creates the network-interface slice for nodes `lo..hi`.
+    #[must_use]
+    pub fn with_range(lo: usize, hi: usize, lat: LatencyConfig) -> Self {
         Network {
             lat,
-            ni_out: (0..nodes).map(|_| FifoResource::new()).collect(),
-            ni_in: (0..nodes).map(|_| FifoResource::new()).collect(),
+            lo,
+            ni_out: (lo..hi).map(|_| FifoResource::new()).collect(),
+            ni_in: (lo..hi).map(|_| FifoResource::new()).collect(),
             messages: 0,
             local_messages: 0,
         }
     }
 
-    /// Sends a message at `now`; returns its delivery time at `dst`.
+    /// Sender-side half of a remote send at `now`: outbound-NI
+    /// serialization, injection overhead, and the network hop. Returns
+    /// the cycle the message arrives at the destination's inbound NI.
     ///
-    /// Acquires the outbound NI at the source and the inbound NI at the
-    /// destination, so bursts serialize. Uncontended remote delivery
-    /// takes exactly [`LatencyConfig::one_way`] cycles.
-    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId) -> Cycle {
-        if src == dst {
-            self.local_messages += 1;
-            return now;
-        }
+    /// # Panics
+    ///
+    /// Panics if `src` is not in this range.
+    #[inline]
+    pub fn depart(&mut self, now: Cycle, src: NodeId) -> Cycle {
         self.messages += 1;
-        // Outbound NI: slot start + injection overhead = departure.
-        let out_done = self.ni_out[src.0].acquire(now, self.lat.ni_occupancy);
+        let out_done = self.ni_out[src.0 - self.lo].acquire(now, self.lat.ni_occupancy);
         let out_start = Cycle(out_done.raw() - self.lat.ni_occupancy);
-        let departure = out_start + self.lat.inject;
-        // Network hop.
-        let at_dst = departure + self.lat.net_hop;
-        // Inbound NI: slot start + delivery overhead = handoff.
-        let in_done = self.ni_in[dst.0].acquire(at_dst, self.lat.ni_occupancy);
+        out_start + self.lat.inject + self.lat.net_hop
+    }
+
+    /// Receiver-side half: inbound-NI serialization at `at_dst` plus
+    /// delivery overhead. Returns the cycle the message is handed to
+    /// the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not in this range.
+    #[inline]
+    pub fn arrive(&mut self, at_dst: Cycle, dst: NodeId) -> Cycle {
+        let in_done = self.ni_in[dst.0 - self.lo].acquire(at_dst, self.lat.ni_occupancy);
         let in_start = Cycle(in_done.raw() - self.lat.ni_occupancy);
         in_start + self.lat.deliver
     }
 
-    /// Sends one message from `src` to every node in `dests`, returning
-    /// the per-destination delivery times as an inline [`DeliveryBatch`].
-    ///
-    /// Timing is identical to calling [`Network::send`] once per
-    /// destination in iteration order (the batch serializes at the
-    /// source NI just like individual sends); the point of the batch is
-    /// that the *caller* constructs its message payload once and issues
-    /// the deliveries in a tight loop instead of re-materializing the
-    /// message per destination.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dests` yields more than [`MAX_PROCS`] destinations.
-    pub fn multicast(
-        &mut self,
-        now: Cycle,
-        src: NodeId,
-        dests: impl IntoIterator<Item = NodeId>,
-    ) -> DeliveryBatch {
-        let mut batch = DeliveryBatch::new();
-        for dst in dests {
-            let at = self.send(now, src, dst);
-            batch.push(dst, at);
+    /// Sends a message at `now`; returns its delivery time at `dst`.
+    /// Both endpoints must be owned by this range. Uncontended remote
+    /// delivery takes exactly [`LatencyConfig::one_way`] cycles.
+    pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId) -> Cycle {
+        if src == dst {
+            self.note_local();
+            return now;
         }
-        batch
+        let at_dst = self.depart(now, src);
+        self.arrive(at_dst, dst)
     }
 
-    /// Remote messages sent so far.
+    /// Accounts one node-local (bus) delivery.
+    #[inline]
+    pub fn note_local(&mut self) {
+        self.local_messages += 1;
+    }
+
+    /// Remote messages sent from this range so far.
     #[must_use]
     pub fn messages_sent(&self) -> u64 {
         self.messages
@@ -143,7 +123,8 @@ impl Network {
         self.local_messages
     }
 
-    /// Total cycles messages waited for NI slots (a contention measure).
+    /// Total cycles messages waited for this range's NI slots (a
+    /// contention measure).
     #[must_use]
     pub fn ni_wait_cycles(&self) -> u64 {
         self.ni_out
@@ -212,29 +193,25 @@ mod tests {
     }
 
     #[test]
-    fn multicast_matches_sequential_sends() {
-        let mut batched = net();
-        let mut sequential = net();
-        let dests = [NodeId(1), NodeId(2), NodeId(3)];
-        let batch = batched.multicast(Cycle(50), NodeId(0), dests);
-        let expected: Vec<_> = dests
-            .iter()
-            .map(|&d| (d, sequential.send(Cycle(50), NodeId(0), d)))
-            .collect();
-        assert_eq!(batch.iter().collect::<Vec<_>>(), expected);
-        assert_eq!(batch.len(), 3);
-        assert!(!batch.is_empty());
-        assert_eq!(batched.messages_sent(), sequential.messages_sent());
-        assert_eq!(batched.ni_wait_cycles(), sequential.ni_wait_cycles());
-    }
-
-    #[test]
-    fn empty_multicast_is_a_no_op() {
-        let mut n = net();
-        let batch = n.multicast(Cycle(0), NodeId(0), []);
-        assert!(batch.is_empty());
-        assert_eq!(batch.iter().count(), 0);
-        assert_eq!(n.messages_sent(), 0);
+    fn split_halves_compose_to_send() {
+        // One network does whole sends; a pair of ranges does the same
+        // traffic as depart/arrive halves. All timing must agree.
+        let lat = LatencyConfig::default();
+        let mut whole = Network::new(4, lat);
+        let mut left = Network::with_range(0, 2, lat);
+        let mut right = Network::with_range(2, 4, lat);
+        for i in 0..8u64 {
+            let now = Cycle(10 * i);
+            let direct = whole.send(now, NodeId(1), NodeId(3));
+            let at_dst = left.depart(now, NodeId(1));
+            let split = right.arrive(at_dst, NodeId(3));
+            assert_eq!(direct, split, "message {i}");
+        }
+        assert_eq!(whole.messages_sent(), left.messages_sent());
+        assert_eq!(
+            whole.ni_wait_cycles(),
+            left.ni_wait_cycles() + right.ni_wait_cycles()
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl MapSpecStore {
     /// Commits a symbol: last-occurrence learn + history shift.
     fn commit(b: &mut RefBlock, sym: Symbol) {
         if b.history.is_full() {
-            b.table.learn(&b.history, sym);
+            b.table.learn(&b.history, sym.clone());
         }
         b.history.push(sym);
     }
@@ -106,13 +106,12 @@ impl SpecStore for MapSpecStore {
             }
             ReqKind::Write | ReqKind::Upgrade => {
                 if !b.open.is_empty() {
-                    let vec = Symbol::ReadVec(b.open);
+                    let vec = Symbol::ReadVec(std::mem::take(&mut b.open));
                     Self::commit(b, vec);
-                    b.open = ReaderSet::new();
                 }
                 let sym = Symbol::Req(kind, p);
                 let obs = if b.history.is_full() {
-                    match b.table.predict_and_learn(&b.history, sym) {
+                    match b.table.predict_and_learn(&b.history, &sym) {
                         Some(pred) => Observation::Predicted {
                             correct: pred == sym,
                         },
@@ -134,8 +133,8 @@ impl SpecStore for MapSpecStore {
         if !b.history.is_full() {
             return None;
         }
-        match b.table.peek(&b.history)?.prediction {
-            Symbol::ReadVec(v) => Some((v, SpecTicket::from_key(b.history.key()))),
+        match &b.table.peek(&b.history)?.prediction {
+            Symbol::ReadVec(v) => Some((v.clone(), SpecTicket::from_key(b.history.key()))),
             _ => None,
         }
     }

@@ -253,6 +253,50 @@ mod tests {
     }
 
     #[test]
+    fn non_power_of_two_node_counts_validate_and_map_homes() {
+        // 24 and 48 nodes exercise the modulo slow path of the home
+        // mapping (the power-of-two shift fast path does not apply);
+        // the full address ↔ home ↔ page arithmetic must still be a
+        // bijection and pass validation.
+        for nodes in [24usize, 48] {
+            let m = MachineConfig::with_nodes(nodes);
+            m.validate()
+                .unwrap_or_else(|e| panic!("{nodes} nodes: {e}"));
+            for node in 0..nodes {
+                for index in 0..3 {
+                    let addr = m.page_on(NodeId(node), index);
+                    assert_eq!(m.home_of(addr), NodeId(node), "{nodes} nodes");
+                    assert_eq!(
+                        m.home_of(addr.offset(m.page_blocks - 1)),
+                        NodeId(node),
+                        "{nodes} nodes: last block of the page"
+                    );
+                }
+            }
+            // Consecutive pages rotate through all homes exactly once.
+            let homes: Vec<usize> = (0..nodes as u64)
+                .map(|p| m.home_of(BlockAddr(p * m.page_blocks)).0)
+                .collect();
+            assert_eq!(homes, (0..nodes).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn validation_accepts_up_to_max_procs() {
+        MachineConfig::with_nodes(MAX_PROCS)
+            .validate()
+            .expect("MAX_PROCS nodes is the supported maximum");
+        let err = MachineConfig::with_nodes(MAX_PROCS + 1)
+            .validate()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("1024"),
+            "oversized machine error names the new limit: {msg}"
+        );
+    }
+
+    #[test]
     fn validation_rejects_bad_configs() {
         let mut m = MachineConfig::paper_machine();
         m.num_nodes = 0;

@@ -27,7 +27,10 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::NoNodes => write!(f, "machine must have at least one node"),
             ConfigError::TooManyNodes { requested, max } => {
-                write!(f, "{requested} nodes requested but at most {max} supported")
+                write!(
+                    f,
+                    "{requested} nodes requested but at most {max} supported (MAX_PROCS)"
+                )
             }
             ConfigError::ZeroPageSize => write!(f, "page size must be at least one block"),
             ConfigError::ZeroLatency => {
@@ -46,12 +49,16 @@ mod tests {
     #[test]
     fn messages_are_lowercase_and_concise() {
         let e = ConfigError::TooManyNodes {
-            requested: 100,
-            max: 64,
+            requested: 2000,
+            max: crate::MAX_PROCS,
         };
         let msg = e.to_string();
-        assert!(msg.contains("100"));
-        assert!(msg.contains("64"));
+        assert!(msg.contains("2000"));
+        assert!(
+            msg.contains("1024"),
+            "error must name the current limit: {msg}"
+        );
+        assert!(msg.contains("MAX_PROCS"), "error names the limit constant");
         assert!(!msg.ends_with('.'));
     }
 

@@ -6,10 +6,12 @@ use serde::{Deserialize, Serialize};
 
 /// Maximum number of processors supported by the bit-vector types.
 ///
-/// [`crate::ReaderSet`] packs one bit per processor into a `u64`, which
-/// comfortably covers the paper's 16-node machine and leaves headroom for
-/// larger sweeps.
-pub const MAX_PROCS: usize = 64;
+/// [`crate::ReaderSet`] is a hybrid bitset: machines up to 64
+/// processors (including the paper's 16-node machine) stay on an inline
+/// `u64` fast path, while wider machines spill to a heap word array.
+/// The cap exists only to catch wild processor ids early; 1024 leaves
+/// room for the scaling sweeps far beyond the paper's evaluation.
+pub const MAX_PROCS: usize = 1024;
 
 /// Identifier of a processor in the simulated machine.
 ///

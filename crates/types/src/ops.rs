@@ -59,7 +59,10 @@ impl fmt::Display for Op {
 }
 
 /// A lazy per-processor operation stream.
-pub type OpStream = Box<dyn Iterator<Item = Op>>;
+///
+/// Streams are `Send` so the sharded protocol engine can move each
+/// processor (and its pending stream) onto a worker thread.
+pub type OpStream = Box<dyn Iterator<Item = Op> + Send>;
 
 /// A multiprocessor workload: a factory for one [`OpStream`] per
 /// processor.

@@ -24,13 +24,13 @@ pub struct PhasedStream {
     phases: usize,
     next_phase: usize,
     buf: std::vec::IntoIter<Op>,
-    gen: Box<dyn FnMut(usize) -> Vec<Op>>,
+    gen: Box<dyn FnMut(usize) -> Vec<Op> + Send>,
 }
 
 impl PhasedStream {
     /// Creates a stream of `phases` phases produced by `gen`.
     #[must_use]
-    pub fn new(phases: usize, gen: impl FnMut(usize) -> Vec<Op> + 'static) -> Self {
+    pub fn new(phases: usize, gen: impl FnMut(usize) -> Vec<Op> + Send + 'static) -> Self {
         PhasedStream {
             phases,
             next_phase: 0,
@@ -98,20 +98,28 @@ mod tests {
 
     #[test]
     fn generator_called_lazily_per_phase() {
-        use std::cell::Cell;
-        use std::rc::Rc;
-        let calls = Rc::new(Cell::new(0));
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
         let c = calls.clone();
         let mut s = PhasedStream::new(5, move |_| {
-            c.set(c.get() + 1);
+            c.fetch_add(1, Ordering::SeqCst);
             vec![Op::Barrier, Op::Barrier]
         });
-        assert_eq!(calls.get(), 0, "nothing generated before first pull");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "nothing generated before first pull"
+        );
         s.next();
-        assert_eq!(calls.get(), 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
         s.next();
-        assert_eq!(calls.get(), 1, "second op comes from the buffer");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            1,
+            "second op comes from the buffer"
+        );
         s.next();
-        assert_eq!(calls.get(), 2);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 }

@@ -172,6 +172,7 @@ pub fn suite(machine: &MachineConfig, scale: Scale) -> Vec<Box<dyn Workload>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specdsm_types::Op;
 
     #[test]
     fn suite_has_seven_apps_in_order() {
@@ -201,6 +202,38 @@ mod tests {
                 assert_eq!(w.num_procs(), 16);
                 let streams = w.build_streams();
                 assert_eq!(streams.len(), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn every_app_scales_to_64_and_256_processors() {
+        // The paper's evaluation stops at 16 nodes; the suite itself is
+        // machine-parameterized and must generate valid per-processor
+        // streams at the wide machine sizes the sharded engine targets
+        // (64 = the former ReaderSet ceiling, 256 = well past it).
+        for nodes in [64usize, 256] {
+            let machine = MachineConfig::with_nodes(nodes);
+            machine.validate().expect("wide machine is valid");
+            for app in AppId::ALL {
+                let w = app.build(&machine, Scale::Quick);
+                assert_eq!(w.num_procs(), nodes, "{app}@{nodes}");
+                let streams = w.build_streams();
+                assert_eq!(streams.len(), nodes, "{app}@{nodes}");
+                // Every stream is non-empty and in-range.
+                for (p, s) in streams.into_iter().enumerate() {
+                    let mut n = 0usize;
+                    for op in s {
+                        n += 1;
+                        if let Op::Read(b) | Op::Write(b) = op {
+                            assert!(
+                                machine.home_of(b).0 < nodes,
+                                "{app}@{nodes} P{p}: block outside machine"
+                            );
+                        }
+                    }
+                    assert!(n > 0, "{app}@{nodes} P{p}: empty stream");
+                }
             }
         }
     }

@@ -329,3 +329,76 @@ fn analytic_model_agrees_with_simulation_direction() {
     assert!(predicted > 1.1);
     assert!((predicted - measured_speedup).abs() < 1.0);
 }
+
+// ---------------------------------------------------------------------
+// Wide machines: past the paper's 16 nodes and the former 64-proc limit
+// ---------------------------------------------------------------------
+
+#[test]
+fn wide_sharing_at_256_procs_spills_reader_sets_end_to_end() {
+    // One producer, 255 consumers: the directory's sharer list and
+    // VMSP's read vectors carry >64 readers, exercising the hybrid
+    // ReaderSet's spilled representation through the entire protocol —
+    // including FR forwarding to a predicted set wider than one word.
+    // The engine's end-of-run coherence checks validate every sharer
+    // list against every cache.
+    let machine = MachineConfig::with_nodes(256);
+    let w = specdsm::workloads::WideSharing::new(machine.clone(), 2, 4);
+    let base = run(machine.clone(), SpecPolicy::Base, &w);
+    let fr = run(machine.clone(), SpecPolicy::FirstRead, &w);
+    assert_eq!(base.per_proc.len(), 256);
+    // Every consumer read every block each iteration.
+    let reads: u64 = base.per_proc.iter().map(|p| p.reads).sum();
+    assert_eq!(reads, 255 * 2 * 4);
+    assert!(
+        fr.spec.fr_sent > 0,
+        "FR forwarded speculative copies to a wide predicted set"
+    );
+    let spec_hits: u64 = fr.per_proc.iter().map(|p| p.spec_read_hits).sum();
+    assert!(spec_hits > 64, "speculation reached readers beyond P63");
+}
+
+#[test]
+fn windowed_engine_runs_wide_sharing_at_256_procs() {
+    use specdsm::protocol::EngineConfig;
+    let machine = MachineConfig::with_nodes(256);
+    let w = specdsm::workloads::WideSharing::new(machine.clone(), 2, 3);
+    let run_with = |engine: EngineConfig| {
+        let cfg = SystemConfig {
+            machine: machine.clone(),
+            policy: SpecPolicy::SwiFr,
+            engine,
+            max_cycles: Some(500_000_000),
+            ..SystemConfig::default()
+        };
+        System::new(cfg, &w).expect("valid system").run()
+    };
+    let one = run_with(EngineConfig::Windowed { threads: 1 });
+    let four = run_with(EngineConfig::Windowed { threads: 4 });
+    // 256 shards, any thread count: bit-identical.
+    assert_eq!(one.exec_cycles, four.exec_cycles);
+    assert_eq!(one.sim_events, four.sim_events);
+    assert_eq!(one.remote_messages, four.remote_messages);
+    assert_eq!(one.ni_wait_cycles, four.ni_wait_cycles);
+    assert_eq!(one.spec, four.spec);
+    assert_eq!(one.per_proc, four.per_proc);
+    // And the program itself matches the sequential engine.
+    let seq = run_with(EngineConfig::Sequential);
+    for (s, w) in seq.per_proc.iter().zip(&one.per_proc) {
+        assert_eq!(s.reads, w.reads);
+        assert_eq!(s.writes, w.writes);
+    }
+}
+
+#[test]
+fn suite_runs_at_64_nodes_under_all_policies() {
+    // A full application (em3d, quick inputs) at the former processor
+    // ceiling, under every policy, on both engines.
+    let machine = MachineConfig::with_nodes(64);
+    let w = AppId::Em3d.build(&machine, Scale::Quick);
+    for policy in SpecPolicy::ALL {
+        let stats = run(machine.clone(), policy, w.as_ref());
+        assert_eq!(stats.per_proc.len(), 64);
+        assert!(stats.exec_cycles > 0);
+    }
+}

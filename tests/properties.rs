@@ -32,11 +32,128 @@ proptest! {
     #[test]
     fn reader_set_algebra(a in any::<u64>(), b in any::<u64>()) {
         let (sa, sb) = (ReaderSet::from_bits(a), ReaderSet::from_bits(b));
-        prop_assert_eq!((sa | sb).bits(), a | b);
-        prop_assert_eq!((sa & sb).bits(), a & b);
-        prop_assert_eq!((sa - sb).bits(), a & !b);
-        prop_assert!((sa | sb).is_superset(sa));
-        prop_assert_eq!((sa - sb) & sb, ReaderSet::new());
+        prop_assert_eq!((&sa | &sb).bits(), a | b);
+        prop_assert_eq!((&sa & &sb).bits(), a & b);
+        prop_assert_eq!((&sa - &sb).bits(), a & !b);
+        prop_assert!((&sa | &sb).is_superset(&sa));
+        prop_assert_eq!((&sa - &sb) & &sb, ReaderSet::new());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hybrid ReaderSet vs a HashSet model, across the u64 ↔ spill boundary
+// ---------------------------------------------------------------------
+
+/// One scripted operation on a `ReaderSet`, decoded from `(op, a, b)`
+/// random triples so the same script drives the set and a
+/// `HashSet<usize>` model.
+fn apply_set_op(
+    set: &mut ReaderSet,
+    model: &mut std::collections::HashSet<usize>,
+    width: usize,
+    op: usize,
+    a: usize,
+    b: usize,
+) {
+    let pa = a % width;
+    let pb = b % width;
+    match op % 5 {
+        0 => assert_eq!(
+            set.insert(ProcId(pa)),
+            model.insert(pa),
+            "insert P{pa} (width {width})"
+        ),
+        1 => assert_eq!(
+            set.remove(ProcId(pa)),
+            model.remove(&pa),
+            "remove P{pa} (width {width})"
+        ),
+        2 => {
+            // Union with a small random set.
+            let other = ReaderSet::from_iter([ProcId(pa), ProcId(pb)]);
+            *set |= other;
+            model.insert(pa);
+            model.insert(pb);
+        }
+        3 => {
+            // Difference with a small random set.
+            let other = ReaderSet::from_iter([ProcId(pa), ProcId(pb)]);
+            *set = std::mem::take(set) - other;
+            model.remove(&pa);
+            model.remove(&pb);
+        }
+        _ => {
+            // Intersection with everything except one element — keeps
+            // the trimming/canonicalization path honest.
+            let mut mask = ReaderSet::all(width);
+            mask.remove(ProcId(pa));
+            *set = std::mem::take(set) & mask;
+            model.remove(&pa);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn hybrid_reader_set_matches_hash_set_model(
+        script in proptest::collection::vec((0usize..5, 0usize..1024, 0usize..1024), 1..120),
+        width_pick in 0usize..4,
+    ) {
+        // 16 and 64 stay inline; 65 straddles the boundary by one; 256
+        // spills several words.
+        let width = [16usize, 64, 65, 256][width_pick];
+        let mut set = ReaderSet::new();
+        let mut model = std::collections::HashSet::new();
+        for &(op, a, b) in &script {
+            apply_set_op(&mut set, &mut model, width, op, a, b);
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        // Full-membership sweep one past the width (never present).
+        for i in 0..=width {
+            prop_assert_eq!(set.contains(ProcId(i)), model.contains(&i), "P{}", i);
+        }
+        // Ascending iteration matches the sorted model.
+        let got: Vec<usize> = set.iter().map(|p| p.0).collect();
+        let mut expected: Vec<usize> = model.iter().copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        // Canonical representation: rebuilding from the model yields a
+        // structurally equal (and equally hashed) set, and destructive
+        // pop_first drains in the same order.
+        let rebuilt = ReaderSet::from_iter(model.iter().map(|&i| ProcId(i)));
+        prop_assert_eq!(&set, &rebuilt);
+        prop_assert_eq!(set.mix64(), rebuilt.mix64());
+        let mut draining = set.clone();
+        let mut drained = Vec::new();
+        while let Some(p) = draining.pop_first() {
+            drained.push(p.0);
+        }
+        prop_assert_eq!(drained, set.iter().map(|p| p.0).collect::<Vec<_>>());
+        prop_assert!(draining.is_empty());
+    }
+
+    #[test]
+    fn hybrid_reader_set_algebra_matches_model(
+        xs in proptest::collection::vec(0usize..256, 0..24),
+        ys in proptest::collection::vec(0usize..256, 0..24),
+    ) {
+        use std::collections::HashSet;
+        let sx = ReaderSet::from_iter(xs.iter().map(|&i| ProcId(i)));
+        let sy = ReaderSet::from_iter(ys.iter().map(|&i| ProcId(i)));
+        let mx: HashSet<usize> = xs.iter().copied().collect();
+        let my: HashSet<usize> = ys.iter().copied().collect();
+        let check = |set: ReaderSet, model: HashSet<usize>, what: &str| {
+            let got: Vec<usize> = set.iter().map(|p| p.0).collect();
+            let mut expected: Vec<usize> = model.into_iter().collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "{what}");
+        };
+        check(&sx | &sy, mx.union(&my).copied().collect(), "union");
+        check(&sx & &sy, mx.intersection(&my).copied().collect(), "intersection");
+        check(&sx - &sy, mx.difference(&my).copied().collect(), "difference");
+        prop_assert_eq!((&sx | &sy).is_superset(&sx), true);
+        prop_assert_eq!(sx.is_superset(&sy), my.is_subset(&mx));
     }
 }
 
@@ -347,7 +464,7 @@ proptest! {
 
 /// The externally observable result of one speculation-store operation,
 /// for diffing the arena store against the map model step by step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum SpecEffect {
     Observed(Observation),
     Predicted(Option<(ReaderSet, SpecTicket)>),

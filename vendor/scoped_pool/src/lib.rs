@@ -1,0 +1,196 @@
+//! Vendored minimal **scoped worker pool**.
+//!
+//! The build environment is fully offline (see the workspace
+//! `vendor/` convention), so instead of `rayon`/`crossbeam` this crate
+//! provides the one concurrency primitive the sharded protocol engine
+//! needs: run `N` long-lived workers over *borrowed* (non-`'static`)
+//! data for the duration of one call, with the caller thread acting as
+//! coordinator, and propagate worker panics.
+//!
+//! Built entirely on [`std::thread::scope`] — no `unsafe`, no
+//! dependencies. The workers live for the whole call (one spawn per
+//! simulation *run*, not per round); per-round coordination is the
+//! caller's business (typically [`std::sync::Barrier`]).
+//!
+//! # Example
+//!
+//! ```
+//! use scoped_pool::run_with_leader;
+//!
+//! let mut chunks = vec![vec![1u64, 2], vec![3, 4], vec![5]];
+//! let sums: Vec<u64> = run_with_leader(
+//!     &mut chunks,
+//!     |_idx, chunk| chunk.iter().sum(),
+//!     || { /* coordinator runs here, concurrently */ },
+//! )
+//! .0;
+//! assert_eq!(sums, vec![3, 7, 5]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Runs one worker thread per element of `workers`, each borrowing its
+/// element mutably, while `leader` runs on the calling thread. Returns
+/// the worker results (in `workers` order) and the leader result once
+/// **all** of them finished.
+///
+/// The worker closure receives `(index, &mut W)`. Workers and leader
+/// run concurrently; coordinate them with barriers or channels captured
+/// by both closures.
+///
+/// # Panics
+///
+/// If a worker panics, the panic is resumed on the calling thread after
+/// the scope joins (the std scope guarantees no worker outlives the
+/// call). A leader panic propagates directly.
+pub fn run_with_leader<W, R, F, L, T>(workers: &mut [W], work: F, leader: L) -> (Vec<R>, T)
+where
+    W: Send,
+    R: Send,
+    F: Fn(usize, &mut W) -> R + Sync,
+    L: FnOnce() -> T,
+{
+    thread::scope(|s| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| {
+                let work = &work;
+                s.spawn(move || work(i, w))
+            })
+            .collect();
+        let lead = leader();
+        let results = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
+        (results, lead)
+    })
+}
+
+/// Plain scoped fork-join without a leader: one worker per element,
+/// results in element order.
+///
+/// # Panics
+///
+/// Worker panics are resumed on the calling thread.
+pub fn fork_join<W, R, F>(workers: &mut [W], work: F) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+    F: Fn(usize, &mut W) -> R + Sync,
+{
+    run_with_leader(workers, work, || ()).0
+}
+
+/// Splits `items` into `parts` contiguous chunks whose sizes differ by
+/// at most one (the static shard→worker partition of the protocol
+/// engine). Returns the chunk boundaries as `(start, end)` index pairs;
+/// empty chunks are omitted.
+#[must_use]
+pub fn balanced_partition(items: usize, parts: usize) -> Vec<(usize, usize)> {
+    if items == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(items);
+    let base = items / parts;
+    let extra = items % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, items);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn fork_join_borrows_and_mutates() {
+        let mut data = vec![1u64, 10, 100];
+        let doubled = fork_join(&mut data, |i, x| {
+            *x *= 2;
+            (i, *x)
+        });
+        assert_eq!(data, vec![2, 20, 200]);
+        assert_eq!(doubled, vec![(0, 2), (1, 20), (2, 200)]);
+    }
+
+    #[test]
+    fn leader_runs_concurrently_with_workers() {
+        // Workers wait on a barrier only the leader can release: the
+        // call can only complete if the leader really runs while the
+        // workers are parked.
+        let barrier = Barrier::new(3);
+        let hits = AtomicU64::new(0);
+        let mut workers = vec![(), ()];
+        let (_, lead) = run_with_leader(
+            &mut workers,
+            |_, ()| {
+                barrier.wait();
+                hits.fetch_add(1, Ordering::SeqCst);
+            },
+            || {
+                barrier.wait();
+                "led"
+            },
+        );
+        assert_eq!(lead, "led");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn worker_results_keep_order() {
+        let mut xs: Vec<usize> = (0..17).collect();
+        let got = fork_join(&mut xs, |i, x| {
+            // Stagger completion so late workers finish first.
+            std::thread::sleep(std::time::Duration::from_millis((17 - i) as u64 / 4));
+            *x
+        });
+        assert_eq!(got, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 1 exploded")]
+    fn worker_panic_propagates() {
+        let mut xs = vec![0, 1, 2];
+        fork_join(&mut xs, |_, x| {
+            if *x == 1 {
+                panic!("worker 1 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn partition_is_balanced_and_complete() {
+        assert_eq!(balanced_partition(0, 4), vec![]);
+        assert_eq!(balanced_partition(5, 0), vec![]);
+        assert_eq!(balanced_partition(3, 8), vec![(0, 1), (1, 2), (2, 3)]);
+        let parts = balanced_partition(64, 3);
+        assert_eq!(parts, vec![(0, 22), (22, 43), (43, 64)]);
+        for (items, n) in [(1usize, 1usize), (7, 2), (16, 4), (1000, 7)] {
+            let parts = balanced_partition(items, n);
+            assert_eq!(parts.first().map(|p| p.0), Some(0));
+            assert_eq!(parts.last().map(|p| p.1), Some(items));
+            for w in parts.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            let sizes: Vec<usize> = parts.iter().map(|(a, b)| b - a).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "{items}/{n}: {sizes:?}");
+        }
+    }
+}
