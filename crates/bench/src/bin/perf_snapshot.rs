@@ -26,9 +26,9 @@ use std::time::{Duration, Instant};
 
 use specdsm_bench::producer_consumer_stream;
 use specdsm_core::{History, PatternTable, PredictorKind, Symbol};
-use specdsm_protocol::{EngineConfig, SpecPolicy, System, SystemConfig};
+use specdsm_protocol::{EngineConfig, FaultStats, SpecPolicy, System, SystemConfig};
 use specdsm_types::{MachineConfig, ProcId, ReaderSet, ReqKind};
-use specdsm_workloads::{AppId, Scale};
+use specdsm_workloads::{fault_plan, AppId, Scale};
 
 /// Times `routine` adaptively: warm up, then run batches until the
 /// window fills. Returns mean ns per call.
@@ -281,6 +281,54 @@ fn scaling_rows() -> Vec<ScalingRow> {
     rows
 }
 
+struct FaultRow {
+    policy: String,
+    engine: &'static str,
+    wall_ms: f64,
+    sim_events: u64,
+    exec_cycles: u64,
+    faults: FaultStats,
+}
+
+/// Fault-injection overhead probe: em3d (the most communication-bound
+/// app) under the suite-standard fault plan with the coherence auditor
+/// armed, on both engines. The interesting numbers are the recovery
+/// counters and the wall-clock cost of the fault + audit machinery
+/// relative to the reliable rows above.
+fn fault_rows() -> Vec<FaultRow> {
+    let machine = MachineConfig::paper_machine();
+    let w = AppId::Em3d.build(&machine, Scale::Default);
+    let plan = fault_plan(0xbad5eed);
+    let mut rows = Vec::new();
+    for policy in [SpecPolicy::Base, SpecPolicy::SwiFr] {
+        for (engine_name, engine) in [
+            ("sequential", EngineConfig::Sequential),
+            ("windowed-2t", EngineConfig::Windowed { threads: 2 }),
+        ] {
+            let cfg = SystemConfig {
+                machine: machine.clone(),
+                policy,
+                engine,
+                faults: Some(plan.clone()),
+                audit: true,
+                ..SystemConfig::default()
+            };
+            let sys = System::new(cfg, w.as_ref()).expect("valid");
+            let start = Instant::now();
+            let stats = sys.run();
+            rows.push(FaultRow {
+                policy: policy.to_string(),
+                engine: engine_name,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                sim_events: stats.sim_events,
+                exec_cycles: stats.exec_cycles,
+                faults: stats.faults,
+            });
+        }
+    }
+    rows
+}
+
 /// Pre-arena (PR 2 engine: map-based online VMSP + `(block, proc)`
 /// ticket map) speculative-policy overhead on this container, computed
 /// from that commit's recorded per-run walls. The arena rework's goal
@@ -307,7 +355,7 @@ fn policy_overhead(rows: &[ProtoRow], policy: &str) -> (f64, f64) {
     )
 }
 
-fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow]) -> String {
+fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow], faults: &[FaultRow]) -> String {
     let suite_wall_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
     let total_events: u64 = rows.iter().map(|r| r.sim_events).sum();
     let events_per_sec = total_events as f64 / (suite_wall_ms / 1e3);
@@ -413,6 +461,37 @@ fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow]) -> String {
         );
     }
     out.push_str("  ],\n");
+    // em3d under the suite-standard fault plan (audited): recovery
+    // counters plus the wall cost of faults + audit vs the reliable
+    // per_run row for the same app/policy.
+    out.push_str("  \"faults\": [\n");
+    for (i, r) in faults.iter().enumerate() {
+        let comma = if i + 1 == faults.len() { "" } else { "," };
+        let reliable = rows
+            .iter()
+            .find(|p| p.app == "em3d" && p.policy == r.policy)
+            .map_or(f64::NAN, |p| p.wall_ms);
+        let f = r.faults;
+        let _ = writeln!(
+            out,
+            "    {{\"app\": \"em3d\", \"policy\": \"{}\", \"engine\": \"{}\", \
+             \"wall_ms\": {:.1}, \"wall_vs_reliable\": {:.3}, \"sim_events\": {}, \
+             \"exec_cycles\": {}, \"drops\": {}, \"duplicates\": {}, \"retries\": {}, \
+             \"dup_suppressed\": {}, \"recovery_cycles\": {}}}{comma}",
+            r.policy,
+            r.engine,
+            r.wall_ms,
+            r.wall_ms / reliable,
+            r.sim_events,
+            r.exec_cycles,
+            f.drops,
+            f.duplicates,
+            f.retries,
+            f.dup_suppressed,
+            f.recovery_cycles
+        );
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"baseline_seed\": {\n");
     let _ = writeln!(out, "    \"note\": \"{SEED_BASELINE_NOTE}\",");
     let _ = writeln!(out, "    \"suite_wall_ms\": {SEED_SUITE_WALL_MS:.1},");
@@ -515,7 +594,9 @@ fn main() {
     let rows = protocol_rows();
     eprintln!("running scaling matrix (nodes 16/64/256 x engines)...");
     let scaling = scaling_rows();
-    let json = render_protocol_json(&rows, &scaling);
+    eprintln!("running fault-injection probe (em3d, audited, 2 policies x 2 engines)...");
+    let faults = fault_rows();
+    let json = render_protocol_json(&rows, &scaling, &faults);
     print!("{json}");
     if let Err(e) = std::fs::write(&protocol_out_path, &json) {
         eprintln!("cannot write {protocol_out_path}: {e}");

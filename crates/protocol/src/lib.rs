@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod audit;
 mod cache;
 mod directory;
 mod msg;
@@ -82,9 +83,9 @@ pub use network::Network;
 pub use processor::Processor;
 pub use spec::{SpecPolicy, SpecStats, SpecStore};
 pub use spec_ref::MapSpecStore;
-pub use stats::{ProcStats, RunStats};
+pub use stats::{FaultStats, ProcStats, RunStats};
 pub use sync::{BarrierManager, LockManager};
-pub use system::{BuildError, EngineConfig, GenericSystem, System, SystemConfig};
+pub use system::{BuildError, EngineConfig, EngineError, GenericSystem, System, SystemConfig};
 
 // Re-exported so alternative [`SpecStore`] backends can be written
 // against this crate alone.

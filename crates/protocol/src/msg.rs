@@ -26,12 +26,27 @@ pub struct Msg {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsgKind {
     /// Request a read-only copy (processor → home).
-    ReadReq(ProcId),
+    ReadReq {
+        /// Requesting processor.
+        proc: ProcId,
+        /// Requester-local sequence number (see [`MsgKind::seq`]).
+        seq: u64,
+    },
     /// Request a writable copy (processor → home).
-    WriteReq(ProcId),
+    WriteReq {
+        /// Requesting processor.
+        proc: ProcId,
+        /// Requester-local sequence number (see [`MsgKind::seq`]).
+        seq: u64,
+    },
     /// Request write permission for a cached read-only copy
     /// (processor → home).
-    UpgradeReq(ProcId),
+    UpgradeReq {
+        /// Requesting processor.
+        proc: ProcId,
+        /// Requester-local sequence number (see [`MsgKind::seq`]).
+        seq: u64,
+    },
 
     /// Read-only data reply (home → processor).
     DataShared {
@@ -101,7 +116,7 @@ impl MsgKind {
     pub fn is_request(&self) -> bool {
         matches!(
             self,
-            MsgKind::ReadReq(_) | MsgKind::WriteReq(_) | MsgKind::UpgradeReq(_)
+            MsgKind::ReadReq { .. } | MsgKind::WriteReq { .. } | MsgKind::UpgradeReq { .. }
         )
     }
 
@@ -109,7 +124,27 @@ impl MsgKind {
     #[must_use]
     pub fn requester(&self) -> Option<ProcId> {
         match *self {
-            MsgKind::ReadReq(p) | MsgKind::WriteReq(p) | MsgKind::UpgradeReq(p) => Some(p),
+            MsgKind::ReadReq { proc, .. }
+            | MsgKind::WriteReq { proc, .. }
+            | MsgKind::UpgradeReq { proc, .. } => Some(proc),
+            _ => None,
+        }
+    }
+
+    /// The requester-local sequence number, for request messages.
+    ///
+    /// Each processor stamps its requests with a strictly increasing
+    /// sequence number. On a reliable network the number is inert
+    /// payload; under a fault plan it is what makes request delivery
+    /// idempotent — the home accepts each `(requester, seq)` at most
+    /// once, so retransmitted or duplicated requests are suppressed
+    /// without protocol side effects.
+    #[must_use]
+    pub fn seq(&self) -> Option<u64> {
+        match *self {
+            MsgKind::ReadReq { seq, .. }
+            | MsgKind::WriteReq { seq, .. }
+            | MsgKind::UpgradeReq { seq, .. } => Some(seq),
             _ => None,
         }
     }
@@ -129,26 +164,37 @@ impl fmt::Display for Msg {
 mod tests {
     use super::*;
 
+    fn req(proc: ProcId, seq: u64) -> MsgKind {
+        MsgKind::ReadReq { proc, seq }
+    }
+
     #[test]
     fn request_classification() {
-        assert!(MsgKind::ReadReq(ProcId(1)).is_request());
-        assert!(MsgKind::WriteReq(ProcId(1)).is_request());
-        assert!(MsgKind::UpgradeReq(ProcId(1)).is_request());
+        assert!(req(ProcId(1), 1).is_request());
+        assert!(MsgKind::WriteReq {
+            proc: ProcId(1),
+            seq: 2
+        }
+        .is_request());
+        assert!(MsgKind::UpgradeReq {
+            proc: ProcId(1),
+            seq: 3
+        }
+        .is_request());
         assert!(!MsgKind::Inval.is_request());
         assert!(!MsgKind::DataShared { version: 0 }.is_request());
     }
 
     #[test]
     fn requester_extraction() {
-        assert_eq!(MsgKind::ReadReq(ProcId(5)).requester(), Some(ProcId(5)));
-        assert_eq!(
-            MsgKind::InvAck {
-                proc: ProcId(1),
-                spec_unused: false
-            }
-            .requester(),
-            None
-        );
+        assert_eq!(req(ProcId(5), 9).requester(), Some(ProcId(5)));
+        assert_eq!(req(ProcId(5), 9).seq(), Some(9));
+        let ack = MsgKind::InvAck {
+            proc: ProcId(1),
+            spec_unused: false,
+        };
+        assert_eq!(ack.requester(), None);
+        assert_eq!(ack.seq(), None);
     }
 
     #[test]

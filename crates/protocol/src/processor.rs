@@ -1,7 +1,7 @@
 //! The blocking in-order processor model.
 
 use specdsm_sim::Cycle;
-use specdsm_types::{BlockAddr, LockId, Op, OpStream, ProcId};
+use specdsm_types::{BlockAddr, LockId, Op, OpStream, ProcId, ReqKind};
 
 use crate::cache::Cache;
 use crate::stats::ProcStats;
@@ -34,14 +34,21 @@ pub(crate) enum Blocked {
     /// Running or runnable (a resume event is pending).
     No,
     /// Waiting for a memory reply for this block; `since` starts the
-    /// request-wait clock, `write` distinguishes read/write grants.
+    /// request-wait clock. The request kind and sequence number are
+    /// retained so a retransmission timeout can rebuild the exact
+    /// request message, and so a grant can tell whether the wait
+    /// included retries (`retried`).
     Mem {
         /// The block being fetched.
         block: BlockAddr,
         /// Issue time.
         since: Cycle,
-        /// Whether this is a write/upgrade request.
-        write: bool,
+        /// The kind of request outstanding.
+        kind: ReqKind,
+        /// Sequence number of the outstanding request.
+        seq: u64,
+        /// Whether the request was retransmitted at least once.
+        retried: bool,
     },
     /// Waiting at the barrier since the given cycle.
     Barrier(Cycle),
@@ -60,6 +67,12 @@ pub struct Processor {
     pub(crate) cache: Cache,
     pub(crate) blocked: Blocked,
     pub(crate) stats: ProcStats,
+    /// Sequence number of the most recent request (pre-incremented at
+    /// issue, so live requests are numbered from 1). Strictly monotone
+    /// per processor; with one outstanding request per core this makes
+    /// "accept each `(requester, seq)` at most once" a complete
+    /// duplicate-suppression rule at the home.
+    pub(crate) req_seq: u64,
     cache_hit_cycles: u64,
 }
 
@@ -83,6 +96,7 @@ impl Processor {
             cache: Cache::new(),
             blocked: Blocked::No,
             stats: ProcStats::default(),
+            req_seq: 0,
             cache_hit_cycles,
         }
     }

@@ -30,15 +30,21 @@
 //! **yields** it ([`ShardYield::Sync`]) and pauses; the engine
 //! arbitrates and answers with [`Directive`]s.
 
+use std::sync::Arc;
+
 use specdsm_core::{DirectoryTrace, SpecTicket, SpecTrigger, VSlot};
 use specdsm_sim::{Cycle, FifoResource, KeyedQueue, SchedKey};
-use specdsm_types::{BlockAddr, DirMsg, LockId, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind};
+use specdsm_types::{
+    BlockAddr, DirMsg, FaultPlan, LockId, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind,
+};
 
+use crate::audit::Auditor;
 use crate::directory::{DirBlock, DirSlot, DirState, Directory, Txn, TxnKind};
 use crate::msg::{Msg, MsgKind};
 use crate::network::Network;
 use crate::processor::{Blocked, ProcAction, Processor};
 use crate::spec::{SpecEngine, SpecStore};
+use crate::stats::FaultStats;
 
 /// Index of a shard within the engine (== home node id in windowed
 /// mode; 0 in sequential single-shard mode).
@@ -55,6 +61,15 @@ pub(crate) enum Event {
     /// pre-resolved directory and predictor slots so the release path
     /// does no lookup at all.
     DirRelease(DirSlot, Option<VSlot>, BlockAddr),
+    /// A request's retransmission timer fires. Stale once the request
+    /// completed (`seq` no longer matches the processor's outstanding
+    /// request); otherwise the request is retransmitted with doubled
+    /// backoff. Only scheduled under an active fault plan.
+    ReqTimeout {
+        proc: ProcId,
+        seq: u64,
+        attempt: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +193,18 @@ pub(crate) struct HomeShard<V: SpecStore> {
     // Engine configuration mirrored per shard (cheap copies).
     pub machine: MachineConfig,
     pub max_cycles: Option<u64>,
+    /// Active fault plan; `None` on a reliable network (all-zero plans
+    /// are normalized away by the engine, keeping them bit-identical
+    /// with no plan at all).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Fault and recovery counters (merged at run end).
+    pub fstats: FaultStats,
+    /// Highest request sequence number accepted per `(owned home -
+    /// lo, requester)` — the directory-side duplicate-suppression
+    /// state. Empty when no fault plan is active.
+    req_seen: Vec<Vec<u64>>,
+    /// Optional runtime coherence auditor (purely observational).
+    pub audit: Option<Box<Auditor>>,
 }
 
 impl<V: SpecStore> HomeShard<V> {
@@ -192,8 +219,15 @@ impl<V: SpecStore> HomeShard<V> {
         record_trace: bool,
         immediate: bool,
         max_cycles: Option<u64>,
+        faults: Option<Arc<FaultPlan>>,
+        audit: bool,
     ) -> Self {
         debug_assert_eq!(procs.len(), hi - lo);
+        let req_seen = if faults.is_some() {
+            vec![vec![0u64; machine.num_nodes]; hi - lo]
+        } else {
+            Vec::new()
+        };
         HomeShard {
             id,
             lo,
@@ -220,6 +254,10 @@ impl<V: SpecStore> HomeShard<V> {
             dir_upgrades: 0,
             machine: machine.clone(),
             max_cycles,
+            faults,
+            fstats: FaultStats::default(),
+            req_seen,
+            audit: audit.then(|| Box::new(Auditor::new())),
         }
     }
 
@@ -386,6 +424,9 @@ impl<V: SpecStore> HomeShard<V> {
                 Event::DirRelease(slot, vslot, block) => {
                     self.dir_release(now, slot, vslot, block);
                 }
+                Event::ReqTimeout { proc, seq, attempt } => {
+                    self.req_timeout(now, proc, seq, attempt);
+                }
             }
         }
         ShardYield::Idle
@@ -448,18 +489,147 @@ impl<V: SpecStore> HomeShard<V> {
     }
 
     fn issue(&mut self, now: Cycle, p: ProcId, block: BlockAddr, kind: ReqKind) {
-        self.proc_mut(p).blocked = Blocked::Mem {
+        let proc = self.proc_mut(p);
+        proc.req_seq += 1;
+        let seq = proc.req_seq;
+        proc.blocked = Blocked::Mem {
             block,
             since: now,
-            write: kind.is_write_like(),
+            kind,
+            seq,
+            retried: false,
         };
         let home = self.machine.home_of(block);
-        let msg = match kind {
-            ReqKind::Read => MsgKind::ReadReq(p),
-            ReqKind::Write => MsgKind::WriteReq(p),
-            ReqKind::Upgrade => MsgKind::UpgradeReq(p),
+        self.send_request(now, p, home, block, kind, seq, 0);
+    }
+
+    /// Sends (or retransmits, for `attempt > 0`) one request message,
+    /// applying the fault plan and arming the retransmission timer.
+    ///
+    /// Requests are the only messages the fault plan touches: they may
+    /// legally arrive late, out of order, or more than once, and the
+    /// retry/duplicate-suppression pair makes their delivery
+    /// at-least-once and idempotent. Every other message kind rides the
+    /// reliable FIFO path the directory protocol depends on.
+    #[allow(clippy::too_many_arguments)]
+    fn send_request(
+        &mut self,
+        now: Cycle,
+        p: ProcId,
+        home: NodeId,
+        block: BlockAddr,
+        kind: ReqKind,
+        seq: u64,
+        attempt: u32,
+    ) {
+        let mk = match kind {
+            ReqKind::Read => MsgKind::ReadReq { proc: p, seq },
+            ReqKind::Write => MsgKind::WriteReq { proc: p, seq },
+            ReqKind::Upgrade => MsgKind::UpgradeReq { proc: p, seq },
         };
-        self.send(now, p.node(), home, block, msg);
+        let src = p.node();
+        let Some(plan) = self.faults.clone() else {
+            self.send(now, src, home, block, mk);
+            return;
+        };
+        if src == home {
+            // Node-local requests never enter the network and thus
+            // cannot fault; no timer needed.
+            self.send(now, src, home, block, mk);
+            return;
+        }
+        let d = plan.decide(src.0, home.0, seq, attempt, now.raw());
+        if d.drop {
+            self.fstats.drops += 1;
+        }
+        self.transmit(now, src, home, block, mk, d.extra_delay, d.drop);
+        if d.duplicate {
+            self.fstats.duplicates += 1;
+            self.transmit(now, src, home, block, mk, d.dup_extra_delay, false);
+        }
+        // Exponential backoff; the shift saturates well past any
+        // plausible retry cap.
+        let backoff = plan.retry_timeout.saturating_mul(1u64 << attempt.min(32));
+        self.sched(
+            now + backoff,
+            Event::ReqTimeout {
+                proc: p,
+                seq,
+                attempt,
+            },
+        );
+    }
+
+    /// One physical transmission of a (possibly faulted) request: pays
+    /// the sender-side NI like any send, then adds `extra` delay or
+    /// loses the message entirely after it left the sender.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+        extra: u64,
+        drop: bool,
+    ) {
+        debug_assert!(now >= self.cur, "messages are never sent in the past");
+        debug_assert_ne!(src, dst, "node-local delivery cannot fault");
+        let msg = Msg {
+            src,
+            dst,
+            block,
+            kind,
+        };
+        // Dropped or delayed, the message occupied the sender's NI: the
+        // fault happens in the network, past the injection point.
+        let at_dst = self.net.depart(now, src) + extra;
+        if drop {
+            return;
+        }
+        if self.immediate {
+            let handoff = self.net.arrive(at_dst, dst);
+            self.sched(handoff, Event::Deliver(msg));
+        } else {
+            let key = self.next_key(self.cur);
+            let dst_shard = self.shard_of(dst);
+            self.outbox.push((dst_shard, InFlight { key, at_dst, msg }));
+        }
+    }
+
+    /// A retransmission timer fired. A stale timer (its request was
+    /// answered and the processor moved on) is a no-op; a live one
+    /// retransmits with a fresh fault draw, up to the plan's retry cap.
+    fn req_timeout(&mut self, now: Cycle, p: ProcId, seq: u64, attempt: u32) {
+        let (block, kind) = match self.proc_mut(p).blocked {
+            Blocked::Mem {
+                block,
+                kind,
+                seq: outstanding,
+                ..
+            } if outstanding == seq => (block, kind),
+            _ => return,
+        };
+        let plan = self
+            .faults
+            .clone()
+            .expect("retransmission timers exist only under a fault plan");
+        // `attempt` is the 0-based transmission whose timer fired; the
+        // resend below is retry number `attempt + 1`. Permit at most
+        // `retry_cap` retries.
+        assert!(
+            attempt < plan.retry_cap,
+            "request retry cap exceeded: {p} {kind} request for {block} (seq {seq}) \
+             unanswered after {} transmissions",
+            attempt + 1,
+        );
+        if let Blocked::Mem { retried, .. } = &mut self.proc_mut(p).blocked {
+            *retried = true;
+        }
+        self.fstats.retries += 1;
+        let home = self.machine.home_of(block);
+        self.send_request(now, p, home, block, kind, seq, attempt + 1);
     }
 
     /// Completes the outstanding memory request of `node`'s processor.
@@ -483,16 +653,25 @@ impl<V: SpecStore> HomeShard<V> {
                 }
             }
         }
-        match proc.blocked {
+        let recovered = match proc.blocked {
             Blocked::Mem {
-                block: b, since, ..
+                block: b,
+                since,
+                retried,
+                ..
             } if b == block => {
                 proc.stats.mem_wait += now.since(since);
                 proc.blocked = Blocked::No;
-                self.sched(now, Event::Resume(p));
+                retried.then(|| now.since(since))
             }
             ref other => panic!("{p} got {g:?} grant for {block} while {other:?}"),
+        };
+        if let Some(wait) = recovered {
+            // The whole blocked stretch counts as recovery: without the
+            // loss the request would have completed within one timeout.
+            self.fstats.recovery_cycles += wait;
         }
+        self.sched(now, Event::Resume(p));
     }
 
     fn proc_inval(&mut self, now: Cycle, node: NodeId, block: BlockAddr, home: NodeId) {
@@ -572,6 +751,9 @@ impl<V: SpecStore> HomeShard<V> {
             block,
             kind,
         };
+        if let Some(audit) = &mut self.audit {
+            audit.note_sent(now, &msg);
+        }
         if src == dst {
             // Node-local delivery bypasses the network entirely.
             self.net.note_local();
@@ -606,6 +788,26 @@ impl<V: SpecStore> HomeShard<V> {
         (slot, vslot)
     }
 
+    /// Drops a request the directory already accepted (a network
+    /// duplicate or an unnecessary retransmission). Must run before any
+    /// directory side effect — counters, trace, predictor observation,
+    /// SWI triggers — so suppressed duplicates are protocol-invisible.
+    fn suppress_duplicate(&mut self, dst: NodeId, p: ProcId, seq: u64) -> bool {
+        if self.faults.is_none() {
+            return false;
+        }
+        let seen = &mut self.req_seen[dst.0 - self.lo][p.0];
+        // One outstanding request per processor and strictly monotone
+        // sequence numbers: anything at or below the watermark was
+        // already accepted once.
+        if seq <= *seen {
+            self.fstats.dup_suppressed += 1;
+            return true;
+        }
+        *seen = seq;
+        false
+    }
+
     /// Dispatches a delivered message. Directory-bound messages resolve
     /// their block to a [`DirSlot`] (and predictor [`VSlot`]) exactly
     /// once, here; the handlers below only ever index.
@@ -616,18 +818,30 @@ impl<V: SpecStore> HomeShard<V> {
             block,
             kind,
         } = msg;
+        if let Some((p, seq)) = kind.requester().zip(kind.seq()) {
+            if self.suppress_duplicate(dst, p, seq) {
+                return;
+            }
+        }
+        if let Some(audit) = &mut self.audit {
+            audit.note_delivered(now, &msg);
+        }
+        // Directory-bound messages get a shadow-vs-directory state
+        // cross-check after their handler runs.
+        let dir_bound = kind.is_request()
+            || matches!(kind, MsgKind::InvAck { .. } | MsgKind::WritebackData { .. });
         match kind {
-            MsgKind::ReadReq(p) => {
+            MsgKind::ReadReq { proc, .. } => {
                 let (slot, vslot) = self.resolve_dir(dst, block);
-                self.dir_request(now, slot, vslot, block, ReqKind::Read, p);
+                self.dir_request(now, slot, vslot, block, ReqKind::Read, proc);
             }
-            MsgKind::WriteReq(p) => {
+            MsgKind::WriteReq { proc, .. } => {
                 let (slot, vslot) = self.resolve_dir(dst, block);
-                self.dir_request(now, slot, vslot, block, ReqKind::Write, p);
+                self.dir_request(now, slot, vslot, block, ReqKind::Write, proc);
             }
-            MsgKind::UpgradeReq(p) => {
+            MsgKind::UpgradeReq { proc, .. } => {
                 let (slot, vslot) = self.resolve_dir(dst, block);
-                self.dir_request(now, slot, vslot, block, ReqKind::Upgrade, p);
+                self.dir_request(now, slot, vslot, block, ReqKind::Upgrade, proc);
             }
             MsgKind::InvAck { proc, spec_unused } => {
                 let (slot, vslot) = self.resolve_dir(dst, block);
@@ -649,6 +863,12 @@ impl<V: SpecStore> HomeShard<V> {
             MsgKind::Inval => self.proc_inval(now, dst, block, src),
             MsgKind::InvWriteback { swi } => self.proc_inv_writeback(now, dst, block, src, swi),
             MsgKind::SpecData { version } => self.proc_spec_data(now, dst, block, version),
+        }
+        if dir_bound && self.audit.is_some() {
+            let state = self.dirs[dst.0 - self.lo].state(block);
+            if let Some(audit) = &mut self.audit {
+                audit.check_dir_state(block, &state);
+            }
         }
     }
 

@@ -59,6 +59,34 @@ impl ProcStats {
     }
 }
 
+/// Fault-injection and recovery accounting, summed over the run.
+///
+/// All zero when no [`FaultPlan`](specdsm_types::FaultPlan) is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Request transmissions lost in the network.
+    pub drops: u64,
+    /// Request transmissions duplicated by the network.
+    pub duplicates: u64,
+    /// Requester-side retransmissions after a timeout.
+    pub retries: u64,
+    /// Duplicate requests suppressed at the home directory.
+    pub dup_suppressed: u64,
+    /// Total cycles processors spent blocked on requests that needed at
+    /// least one retry — the latency cost of loss recovery.
+    pub recovery_cycles: u64,
+}
+
+impl std::ops::AddAssign for FaultStats {
+    fn add_assign(&mut self, rhs: FaultStats) {
+        self.drops += rhs.drops;
+        self.duplicates += rhs.duplicates;
+        self.retries += rhs.retries;
+        self.dup_suppressed += rhs.dup_suppressed;
+        self.recovery_cycles += rhs.recovery_cycles;
+    }
+}
+
 /// Result of one complete system simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunStats {
@@ -92,6 +120,9 @@ pub struct RunStats {
     pub dir_upgrades: u64,
     /// Speculation counters (all zero for Base-DSM).
     pub spec: SpecStats,
+    /// Fault-injection and recovery counters (all zero without a
+    /// fault plan).
+    pub faults: FaultStats,
     /// Online predictor accuracy (FR-/SWI-DSM only).
     pub predictor: Option<PredictorStats>,
     /// Directory message trace, when recording was enabled.
@@ -196,9 +227,29 @@ mod tests {
             dir_writes: 0,
             dir_upgrades: 0,
             spec: SpecStats::default(),
+            faults: FaultStats::default(),
             predictor: None,
             trace: None,
         }
+    }
+
+    #[test]
+    fn fault_stats_accumulate() {
+        let mut total = FaultStats::default();
+        total += FaultStats {
+            drops: 2,
+            duplicates: 1,
+            retries: 3,
+            dup_suppressed: 4,
+            recovery_cycles: 500,
+        };
+        total += FaultStats {
+            drops: 1,
+            ..FaultStats::default()
+        };
+        assert_eq!(total.drops, 3);
+        assert_eq!(total.retries, 3);
+        assert_eq!(total.recovery_cycles, 500);
     }
 
     #[test]

@@ -30,12 +30,13 @@
 
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 
 use specdsm_core::Vmsp;
 use specdsm_sim::Cycle;
-use specdsm_types::{ConfigError, MachineConfig, ProcId, Workload};
+use specdsm_types::{ConfigError, FaultPlan, MachineConfig, ProcId, Workload};
 
 use crate::directory::DirState;
 use crate::processor::{Blocked, Processor};
@@ -85,6 +86,18 @@ pub struct SystemConfig {
     pub max_cycles: Option<u64>,
     /// Execution strategy (sequential single-shard by default).
     pub engine: EngineConfig,
+    /// Optional deterministic fault-injection plan for remote request
+    /// messages (drop / duplicate / extra delay), with requester-side
+    /// timeout-and-retry recovery. `None` — or any plan whose
+    /// [`FaultPlan::is_noop`] holds — runs the reliable network
+    /// bit-for-bit unchanged.
+    pub faults: Option<FaultPlan>,
+    /// Run the runtime coherence auditor alongside the protocol: a
+    /// shadow copy of ownership/reader state checked on every send and
+    /// delivery, failing fast (with a recent-message trace for the
+    /// offending block) on any invariant violation. Purely
+    /// observational — enabling it never perturbs timing or statistics.
+    pub audit: bool,
 }
 
 impl Default for SystemConfig {
@@ -97,6 +110,8 @@ impl Default for SystemConfig {
             cache_blocks: None,
             max_cycles: None,
             engine: EngineConfig::Sequential,
+            faults: None,
+            audit: false,
         }
     }
 }
@@ -133,6 +148,60 @@ impl Error for BuildError {}
 impl From<ConfigError> for BuildError {
     fn from(e: ConfigError) -> Self {
         BuildError::Config(e)
+    }
+}
+
+/// Fatal failure inside the windowed engine, surfaced structurally by
+/// [`GenericSystem::try_run`] instead of unwinding through the worker
+/// pool.
+///
+/// A shard panics when it hits a protocol assertion, a coherence-audit
+/// violation, an exhausted retry budget, or the `max_cycles` guard; the
+/// windowed drivers catch the unwind at the window boundary and report
+/// *which* shard failed in *which* window. For diagnosis, re-run the
+/// same configuration under [`EngineConfig::Sequential`] — the failure
+/// replays in a single-threaded event loop where the full panic
+/// backtrace points directly at the offending event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A shard's window execution panicked.
+    WorkerPanic {
+        /// The shard that failed (== its home node id in windowed mode).
+        shard: usize,
+        /// Floor cycle of the window being executed when it failed.
+        window_floor: u64,
+        /// The panic message, verbatim.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanic {
+                shard,
+                window_floor,
+                message,
+            } => write!(
+                f,
+                "shard {shard} failed in the window at cycle {window_floor}: {message}"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `String` or `&'static str` in practice).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
     }
 }
 
@@ -263,6 +332,17 @@ impl<V: SpecStore> GenericSystem<V> {
     /// the workload's processor count does not match the node count.
     pub fn new(cfg: SystemConfig, workload: &dyn Workload) -> Result<Self, BuildError> {
         cfg.machine.validate()?;
+        if let Some(plan) = &cfg.faults {
+            plan.validate()?;
+        }
+        // Normalize an all-zero plan to "no plan": the fault path is
+        // never entered, so such configs stay bit-identical to the
+        // reliable engine (no timeout events, no dedup bookkeeping).
+        let faults: Option<Arc<FaultPlan>> = cfg
+            .faults
+            .as_ref()
+            .filter(|plan| !plan.is_noop())
+            .map(|plan| Arc::new(plan.clone()));
         let n = cfg.machine.num_nodes;
         if workload.num_procs() != n {
             return Err(BuildError::ProcCountMismatch {
@@ -308,6 +388,8 @@ impl<V: SpecStore> GenericSystem<V> {
                 cfg.record_trace,
                 !sharded,
                 cfg.max_cycles,
+                faults.clone(),
+                cfg.audit,
             ));
         }
         Ok(GenericSystem {
@@ -325,8 +407,34 @@ impl<V: SpecStore> GenericSystem<V> {
     ///
     /// Panics if the workload deadlocks (all activity drains while
     /// processors are still blocked — e.g. mismatched barrier or lock
-    /// usage) or if `max_cycles` is exceeded.
-    pub fn run(mut self) -> RunStats {
+    /// usage), if `max_cycles` is exceeded, or on any
+    /// [`EngineError`] a windowed run surfaces (the error's message —
+    /// naming the failing shard and window — becomes the panic
+    /// message).
+    pub fn run(self) -> RunStats {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the simulation to completion, surfacing windowed-engine
+    /// failures as structured [`EngineError`]s instead of panics.
+    ///
+    /// A shard panic during windowed execution (protocol assertion,
+    /// coherence-audit violation, retry-budget exhaustion, `max_cycles`)
+    /// is caught at the window boundary and returned as
+    /// [`EngineError::WorkerPanic`] naming the shard and window floor.
+    /// Sequential runs are not wrapped: they panic in the caller's
+    /// thread with a full backtrace, which is exactly what you want
+    /// when replaying a windowed failure for diagnosis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if a windowed shard fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload deadlocks, or on sequential-engine
+    /// failures (see above).
+    pub fn try_run(mut self) -> Result<RunStats, EngineError> {
         for shard in &mut self.shards {
             shard.seed();
         }
@@ -335,15 +443,15 @@ impl<V: SpecStore> GenericSystem<V> {
             EngineConfig::Windowed { threads } => {
                 let workers = threads.clamp(1, self.shards.len());
                 if workers <= 1 {
-                    self.run_windowed_serial();
+                    self.run_windowed_serial()?;
                 } else {
-                    self.run_windowed_parallel(workers);
+                    self.run_windowed_parallel(workers)?;
                 }
             }
         }
         self.check_quiescent();
         self.check_coherence();
-        self.into_stats()
+        Ok(self.into_stats())
     }
 
     // ------------------------------------------------------------------
@@ -458,7 +566,7 @@ impl<V: SpecStore> GenericSystem<V> {
 
     /// Windowed execution on the calling thread (the `threads <= 1`
     /// form — and the reference the parallel form must match).
-    fn run_windowed_serial(&mut self) {
+    fn run_windowed_serial(&mut self) -> Result<(), EngineError> {
         let lookahead = self.lookahead();
         let n = self.shards.len();
         let one_way = self.cfg.machine.latency.one_way();
@@ -483,20 +591,28 @@ impl<V: SpecStore> GenericSystem<V> {
                 break;
             };
             for (i, shard) in self.shards.iter_mut().enumerate() {
-                Self::shard_round(
-                    shard,
-                    &mut plan.per_shard[i],
-                    &mut staging[i],
-                    plan.floor,
-                    plan.sync_guard,
-                    lookahead,
-                );
+                catch_unwind(AssertUnwindSafe(|| {
+                    Self::shard_round(
+                        shard,
+                        &mut plan.per_shard[i],
+                        &mut staging[i],
+                        plan.floor,
+                        plan.sync_guard,
+                        lookahead,
+                    );
+                }))
+                .map_err(|payload| EngineError::WorkerPanic {
+                    shard: i,
+                    window_floor: plan.floor.raw(),
+                    message: panic_message(payload),
+                })?;
                 for (dst, m) in shard.outbox.drain(..) {
                     next_staging[dst as usize].push(m);
                 }
             }
             std::mem::swap(&mut staging, &mut next_staging);
         }
+        Ok(())
     }
 
     /// Windowed execution over `workers` threads: shards are statically
@@ -504,7 +620,7 @@ impl<V: SpecStore> GenericSystem<V> {
     /// Every decision is made by the same [`GenericSystem::plan_round`]
     /// as the serial form, from the same published state — the output
     /// is bit-identical for any worker count.
-    fn run_windowed_parallel(&mut self, workers: usize) {
+    fn run_windowed_parallel(&mut self, workers: usize) -> Result<(), EngineError> {
         let lookahead = self.lookahead();
         let n = self.shards.len();
         let one_way = self.cfg.machine.latency.one_way();
@@ -520,6 +636,13 @@ impl<V: SpecStore> GenericSystem<V> {
             staging_out: Vec<Mutex<Vec<InFlight>>>,
             /// Per-shard reports published at round end.
             reports: Vec<Mutex<ShardReport>>,
+            /// First shard failure of the round, if any. Workers catch
+            /// their shards' panics and keep participating in the
+            /// barriers (a raw unwind would deadlock everyone else);
+            /// the leader checks this after each round-end barrier.
+            /// Lowest shard id wins, so the reported error does not
+            /// depend on worker scheduling.
+            failed: Mutex<Option<EngineError>>,
         }
 
         let board = Board {
@@ -528,6 +651,7 @@ impl<V: SpecStore> GenericSystem<V> {
             round: Mutex::new((Vec::new(), Cycle::ZERO, None)),
             staging_in: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
             staging_out: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            failed: Mutex::new(None),
             reports: (0..n)
                 .map(|_| {
                     Mutex::new(ShardReport {
@@ -560,7 +684,7 @@ impl<V: SpecStore> GenericSystem<V> {
             std::mem::take(&mut self.locks),
         ));
         let plan_len = n;
-        scoped_pool::run_with_leader(
+        let (_, outcome) = scoped_pool::run_with_leader(
             &mut chunks,
             |_idx, chunk| {
                 loop {
@@ -586,27 +710,56 @@ impl<V: SpecStore> GenericSystem<V> {
                         (*floor, *guard, mine)
                     };
                     for (shard, (_, mut plan)) in chunk.iter_mut().zip(my_plans) {
-                        let mut incoming = std::mem::take(
-                            &mut *board.staging_in[shard.id as usize].lock().unwrap(),
-                        );
-                        Self::shard_round(
-                            shard,
-                            &mut plan,
-                            &mut incoming,
-                            floor,
-                            sync_guard,
-                            lookahead,
-                        );
-                        for (dst, m) in shard.outbox.drain(..) {
-                            board.staging_out[dst as usize].lock().unwrap().push(m);
+                        let sid = shard.id as usize;
+                        let mut incoming =
+                            std::mem::take(&mut *board.staging_in[sid].lock().unwrap());
+                        let round = catch_unwind(AssertUnwindSafe(|| {
+                            Self::shard_round(
+                                shard,
+                                &mut plan,
+                                &mut incoming,
+                                floor,
+                                sync_guard,
+                                lookahead,
+                            );
+                        }));
+                        match round {
+                            Ok(()) => {
+                                for (dst, m) in shard.outbox.drain(..) {
+                                    board.staging_out[dst as usize].lock().unwrap().push(m);
+                                }
+                                *board.reports[sid].lock().unwrap() = Self::report(shard);
+                            }
+                            Err(payload) => {
+                                let mut failed = board.failed.lock().unwrap();
+                                let replace = match failed.as_ref() {
+                                    None => true,
+                                    Some(EngineError::WorkerPanic { shard: s, .. }) => sid < *s,
+                                };
+                                if replace {
+                                    *failed = Some(EngineError::WorkerPanic {
+                                        shard: sid,
+                                        window_floor: floor.raw(),
+                                        message: panic_message(payload),
+                                    });
+                                }
+                            }
                         }
-                        *board.reports[shard.id as usize].lock().unwrap() = Self::report(shard);
                     }
                     board.barrier.wait();
                 }
             },
-            || {
+            || -> Result<(), EngineError> {
                 loop {
+                    // A failed round means the shards' states are no
+                    // longer trustworthy: stop before planning another.
+                    // (The round-end barrier orders the workers' writes
+                    // to `failed` before this read.)
+                    if let Some(err) = board.failed.lock().unwrap().take() {
+                        board.done.store(true, Ordering::SeqCst);
+                        board.barrier.wait();
+                        return Err(err);
+                    }
                     // Plan the next round from the published state.
                     let reports: Vec<ShardReport> = (0..plan_len)
                         .map(|i| *board.reports[i].lock().unwrap())
@@ -631,7 +784,7 @@ impl<V: SpecStore> GenericSystem<V> {
                         None => {
                             board.done.store(true, Ordering::SeqCst);
                             board.barrier.wait();
-                            break;
+                            break Ok(());
                         }
                         Some(plan) => {
                             *board.round.lock().unwrap() =
@@ -654,6 +807,7 @@ impl<V: SpecStore> GenericSystem<V> {
         let (bar, locks) = barrier_mgr.into_inner().unwrap();
         self.barrier = bar;
         self.locks = locks;
+        outcome
     }
 
     // ------------------------------------------------------------------
@@ -792,6 +946,7 @@ impl<V: SpecStore> GenericSystem<V> {
         let mut dir_writes = 0;
         let mut dir_upgrades = 0;
         let mut spec = crate::spec::SpecStats::default();
+        let mut faults = crate::stats::FaultStats::default();
         let mut predictor = cfg
             .policy
             .uses_predictor()
@@ -816,6 +971,7 @@ impl<V: SpecStore> GenericSystem<V> {
             dir_writes += shard.dir_writes;
             dir_upgrades += shard.dir_upgrades;
             spec += shard.spec.stats;
+            faults += shard.fstats;
             if let Some(total) = &mut predictor {
                 *total += shard.spec.vmsp.predictor_stats();
             }
@@ -838,6 +994,7 @@ impl<V: SpecStore> GenericSystem<V> {
             dir_writes,
             dir_upgrades,
             spec,
+            faults,
             predictor,
             trace,
         }
@@ -1383,6 +1540,198 @@ mod tests {
             ops,
         );
         assert_same_model_output(&seq, &win, "lock contention");
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection, audit, and engine degradation
+    // ------------------------------------------------------------------
+
+    use crate::stats::FaultStats;
+
+    /// A plan aggressive enough that a few dozen remote requests are
+    /// guaranteed to see drops, duplicates, and delays.
+    fn heavy_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            drop_rate: 0.15,
+            dup_rate: 0.10,
+            delay_rate: 0.20,
+            delay_max: 300,
+            slow_nodes: vec![1],
+            slow_extra: 45,
+            ..FaultPlan::new(seed)
+        }
+    }
+
+    fn run_faulty(
+        n: usize,
+        policy: SpecPolicy,
+        engine: EngineConfig,
+        faults: Option<FaultPlan>,
+        audit: bool,
+        ops: Vec<Vec<Op>>,
+    ) -> RunStats {
+        let cfg = SystemConfig {
+            machine: machine(n),
+            policy,
+            engine,
+            max_cycles: Some(50_000_000),
+            faults,
+            audit,
+            ..SystemConfig::default()
+        };
+        System::new(
+            cfg,
+            &Script {
+                name: "faulty",
+                ops,
+            },
+        )
+        .expect("valid system")
+        .run()
+    }
+
+    #[test]
+    fn sequential_faulty_run_recovers_under_audit() {
+        let s = run_faulty(
+            4,
+            SpecPolicy::Base,
+            EngineConfig::Sequential,
+            Some(heavy_plan(0xFEED)),
+            true,
+            mixed_script(4),
+        );
+        assert!(s.faults.drops > 0, "drops observed: {:?}", s.faults);
+        assert!(s.faults.retries > 0, "retries observed: {:?}", s.faults);
+        assert!(
+            s.faults.recovery_cycles > 0,
+            "recovery wait accounted: {:?}",
+            s.faults
+        );
+    }
+
+    #[test]
+    fn faulty_thread_count_is_unobservable() {
+        for policy in SpecPolicy::ALL {
+            let plan = heavy_plan(0xFEED);
+            let one = run_faulty(
+                4,
+                policy,
+                EngineConfig::Windowed { threads: 1 },
+                Some(plan.clone()),
+                true,
+                mixed_script(4),
+            );
+            assert!(one.faults.drops > 0, "{policy}: {:?}", one.faults);
+            assert!(one.faults.retries > 0, "{policy}: {:?}", one.faults);
+            for threads in [2, 4] {
+                let many = run_faulty(
+                    4,
+                    policy,
+                    EngineConfig::Windowed { threads },
+                    Some(plan.clone()),
+                    true,
+                    mixed_script(4),
+                );
+                assert_same_model_output(&one, &many, &format!("{policy}/{threads} faulty"));
+                assert_eq!(one.faults, many.faults, "{policy}/{threads}: fault stats");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_at_the_home() {
+        // Duplication only, no drops: every duplicate that arrives must
+        // be swallowed by the watermark, and nothing needs retrying
+        // fast enough to matter.
+        let plan = FaultPlan {
+            dup_rate: 0.5,
+            ..FaultPlan::new(99)
+        };
+        let s = run_faulty(
+            4,
+            SpecPolicy::Base,
+            EngineConfig::Sequential,
+            Some(plan),
+            true,
+            mixed_script(4),
+        );
+        assert!(s.faults.duplicates > 0);
+        assert_eq!(s.faults.dup_suppressed, s.faults.duplicates);
+        assert_eq!(s.faults.drops, 0);
+    }
+
+    #[test]
+    fn zero_rate_plan_and_audit_are_inert() {
+        for engine in [
+            EngineConfig::Sequential,
+            EngineConfig::Windowed { threads: 2 },
+        ] {
+            let base = run_script_on(4, SpecPolicy::SwiFr, engine, mixed_script(4));
+            let z = run_faulty(
+                4,
+                SpecPolicy::SwiFr,
+                engine,
+                Some(FaultPlan::new(3)),
+                true,
+                mixed_script(4),
+            );
+            assert_same_model_output(&base, &z, &format!("{engine:?} zero-rate"));
+            assert_eq!(z.faults, FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn windowed_failure_surfaces_as_engine_error() {
+        // A remote read cannot complete within 10 cycles, so the shard
+        // delivering past the limit trips the max_cycles guard — which
+        // the windowed drivers must catch and name, not unwind.
+        let ops = vec![vec![], vec![Op::Read(homed(0))], vec![], vec![]];
+        let mut errs = Vec::new();
+        for threads in [1, 2] {
+            let cfg = SystemConfig {
+                machine: machine(4),
+                max_cycles: Some(10),
+                engine: EngineConfig::Windowed { threads },
+                ..SystemConfig::default()
+            };
+            let sys = System::new(
+                cfg,
+                &Script {
+                    name: "tiny",
+                    ops: ops.clone(),
+                },
+            )
+            .unwrap();
+            let err = sys.try_run().unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("max_cycles"), "inner message kept: {msg}");
+            assert!(msg.contains("shard"), "failing shard named: {msg}");
+            errs.push(err);
+        }
+        assert_eq!(
+            errs[0], errs[1],
+            "structured error is thread-count independent"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_cycles")]
+    fn run_panics_on_windowed_failure() {
+        let cfg = SystemConfig {
+            machine: machine(4),
+            max_cycles: Some(10),
+            engine: EngineConfig::Windowed { threads: 2 },
+            ..SystemConfig::default()
+        };
+        let _ = System::new(
+            cfg,
+            &Script {
+                name: "tiny",
+                ops: vec![vec![], vec![Op::Read(homed(0))], vec![], vec![]],
+            },
+        )
+        .unwrap()
+        .run();
     }
 
     #[test]

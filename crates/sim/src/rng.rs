@@ -63,7 +63,12 @@ impl Xorshift64Star {
     }
 
     /// Bernoulli trial with probability `p`.
+    ///
+    /// In debug builds, panics if `p` is outside `[0, 1]` (or NaN) —
+    /// such a probability is always a caller bug, silently clamping it
+    /// would hide miscomputed fault/jitter rates.
     pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
         self.next_f64() < p
     }
 
@@ -110,7 +115,14 @@ mod tests {
     #[test]
     fn zero_seed_is_remapped() {
         let mut r = Xorshift64Star::new(0);
-        assert_ne!(r.next_u64(), 0);
+        // The all-zero state is the xorshift fixed point: were it not
+        // remapped, every draw would be zero forever. Demand distinct
+        // non-zero outputs.
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().all(|&v| v != 0), "degenerate stream");
+        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        assert_eq!(distinct.len(), draws.len(), "stream does not repeat");
+        assert_eq!(Xorshift64Star::new(0), Xorshift64Star::new(0));
     }
 
     #[test]
@@ -167,5 +179,26 @@ mod tests {
         let mut r = Xorshift64Star::new(13);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn chance_above_one_panics() {
+        Xorshift64Star::new(1).chance(1.5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn chance_negative_panics() {
+        Xorshift64Star::new(1).chance(-0.1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn chance_nan_panics() {
+        Xorshift64Star::new(1).chance(f64::NAN);
     }
 }

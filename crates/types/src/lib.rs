@@ -38,6 +38,7 @@
 mod addr;
 mod config;
 mod error;
+mod fault;
 mod geometry;
 mod ids;
 mod msg;
@@ -47,6 +48,7 @@ mod readers;
 pub use addr::BlockAddr;
 pub use config::{LatencyConfig, MachineConfig, PAPER_BLOCK_BYTES, PAPER_NODES};
 pub use error::ConfigError;
+pub use fault::{FaultDecision, FaultPlan};
 pub use geometry::HomeGeometry;
 pub use ids::{NodeId, ProcId, MAX_PROCS};
 pub use msg::{AckKind, DirMsg, ReqKind};

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use specdsm_types::{MachineConfig, Workload};
+use specdsm_types::{FaultPlan, MachineConfig, Workload};
 
 use crate::apps::appbt::{Appbt, AppbtParams};
 use crate::apps::barnes::{Barnes, BarnesParams};
@@ -169,6 +169,20 @@ pub fn suite(machine: &MachineConfig, scale: Scale) -> Vec<Box<dyn Workload>> {
         .collect()
 }
 
+/// The suite-standard fault plan: light loss, duplication, and jittered
+/// delay plus one slow node — strong enough that every suite run sees
+/// retries, mild enough that the applications' sharing patterns (and
+/// thus the predictor's behavior) stay recognizable.
+///
+/// Like [`Jitter`](crate::Jitter), every decision derived from the plan
+/// is a pure function of `(seed, src, dst, seq, attempt)`, so Base, FR,
+/// and SWI runs — at any thread count — face the identical fault
+/// schedule.
+#[must_use]
+pub fn fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan::light(seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +263,15 @@ mod tests {
                 assert!(count < 1_000_000, "{app} proc {p} quick stream too large");
             }
         }
+    }
+
+    #[test]
+    fn suite_fault_plan_is_valid_and_active() {
+        let plan = fault_plan(7);
+        plan.validate().expect("suite plan validates");
+        assert!(!plan.is_noop(), "suite plan actually injects faults");
+        assert_eq!(plan, fault_plan(7), "pure function of the seed");
+        assert_ne!(plan, fault_plan(8), "seed enters the schedule");
     }
 
     #[test]

@@ -602,3 +602,100 @@ fn mark_swi_premature_after_evict_is_a_noop_in_both_stores() {
     assert_eq!(arena, map);
     assert!(arena.0, "no entry, so nothing is suppressed");
 }
+
+// ---------------------------------------------------------------------
+// KeyedQueue vs a sorted reference model, under fault-shaped schedules
+// ---------------------------------------------------------------------
+
+use specdsm::sim::{KeyedQueue, SchedKey};
+
+proptest! {
+    /// Drives a [`KeyedQueue`] with the access shape fault injection
+    /// produces — duplicated payloads under fresh keys, extra-delayed
+    /// arrivals, heavy `(sched, src)` key collisions, schedules in the
+    /// past after the cursor advanced — in phases separated by
+    /// `pop_before` drains at arbitrary horizons, and checks every
+    /// observation against a sorted-set reference model, including the
+    /// strictly-below semantics at the exact horizon boundary.
+    #[test]
+    fn keyed_queue_matches_model_under_fault_shaped_schedules(
+        phases in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    // (cycle, key.sched, key.src, duplicate?, extra delay)
+                    (0u64..5000, 0u64..60, 0u32..4, any::<bool>(), 1u64..300),
+                    0..40,
+                ),
+                0u64..6000, // drain horizon for the phase
+            ),
+            1..6,
+        ),
+    ) {
+        let mut q: KeyedQueue<u64> = KeyedQueue::new();
+        // Reference model: the queue must pop exactly the first element
+        // of this set (ordered by `(cycle, key)`; keys are unique).
+        let mut model: std::collections::BTreeSet<(u64, (u64, u32, u64), u64)> =
+            std::collections::BTreeSet::new();
+        let mut seq = 0u64;
+        let mut payload = 0u64;
+        let mut scheduled = 0u64;
+        let pop_and_check = |q: &mut KeyedQueue<u64>,
+                                 model: &mut std::collections::BTreeSet<(u64, (u64, u32, u64), u64)>,
+                                 horizon: u64|
+         -> bool {
+            match q.pop_before(Cycle(horizon)) {
+                None => {
+                    // Boundary semantics: an event *at* the horizon must
+                    // not pop; anything strictly below must have.
+                    if let Some(first) = model.iter().next() {
+                        assert!(
+                            first.0 >= horizon,
+                            "queue withheld an event below the horizon: {first:?} < {horizon}"
+                        );
+                    }
+                    false
+                }
+                Some((at, got)) => {
+                    let expect = model
+                        .iter()
+                        .next()
+                        .copied()
+                        .expect("queue popped an event the model does not have");
+                    assert!(model.remove(&expect));
+                    assert_eq!((at.raw(), got), (expect.0, expect.2), "pop order");
+                    assert!(at.raw() < horizon, "pop_before ignored the horizon");
+                    true
+                }
+            }
+        };
+        for (entries, horizon) in phases {
+            for (at, sched, src, dup, extra) in entries {
+                q.schedule(Cycle(at), SchedKey { sched, src, seq }, payload);
+                model.insert((at, (sched, src, seq), payload));
+                seq += 1;
+                scheduled += 1;
+                if dup {
+                    // A network duplicate: same payload, delayed, under
+                    // a fresh key — exactly what `transmit` emits.
+                    q.schedule(Cycle(at + extra), SchedKey { sched, src, seq }, payload);
+                    model.insert((at + extra, (sched, src, seq), payload));
+                    seq += 1;
+                    scheduled += 1;
+                }
+                payload += 1;
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(
+                q.peek_cycle().map(Cycle::raw),
+                model.iter().next().map(|e| e.0)
+            );
+            while pop_and_check(&mut q, &mut model, horizon) {}
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Final full drain: everything left pops in model order.
+        while pop_and_check(&mut q, &mut model, u64::MAX) {}
+        prop_assert!(model.is_empty(), "events left in the model: {:?}", model);
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.scheduled_total(), scheduled);
+    }
+}
