@@ -26,7 +26,9 @@ use std::time::{Duration, Instant};
 
 use specdsm_bench::producer_consumer_stream;
 use specdsm_core::{History, PatternTable, PredictorKind, Symbol};
-use specdsm_protocol::{EngineConfig, FaultStats, SpecPolicy, System, SystemConfig};
+use specdsm_protocol::{
+    EngineConfig, FaultStats, OptimisticStats, SpecPolicy, System, SystemConfig,
+};
 use specdsm_types::{MachineConfig, ProcId, ReaderSet, ReqKind};
 use specdsm_workloads::{fault_plan, AppId, Scale};
 
@@ -231,19 +233,24 @@ fn protocol_rows() -> Vec<ProtoRow> {
 struct ScalingRow {
     nodes: usize,
     scale: &'static str,
-    /// 0 = the sequential single-shard engine; otherwise windowed with
-    /// this many worker threads.
+    /// `"sequential"`, `"windowed-Nt"`, or `"optimistic-Nt"`.
+    engine: String,
+    /// Worker threads (0 for the sequential single-shard engine).
     threads: usize,
     wall_ms: f64,
     sim_events: u64,
     exec_cycles: u64,
+    /// Window/validation/rollback counters — all zero except on the
+    /// optimistic engine.
+    opt: OptimisticStats,
 }
 
-/// The nodes × worker-threads scaling matrix over em3d (the most
-/// communication-bound app): 16 nodes (the paper machine), 64 (the
-/// former `ReaderSet` ceiling), and 256 (well past it, quick inputs to
-/// bound runtime). Each node count runs the sequential engine once and
-/// the windowed engine at 1, 2, and 4 workers.
+/// The nodes × engine × worker-threads scaling matrix over em3d (the
+/// most communication-bound app): 16 nodes (the paper machine), 64
+/// (the former `ReaderSet` ceiling), and 256 (well past it, quick
+/// inputs to bound runtime). Each node count runs the sequential
+/// engine once and the windowed and optimistic engines at 1, 2, and 4
+/// workers.
 fn scaling_rows() -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     for (nodes, scale, scale_name) in [
@@ -253,12 +260,20 @@ fn scaling_rows() -> Vec<ScalingRow> {
     ] {
         let machine = MachineConfig::with_nodes(nodes);
         let w = AppId::Em3d.build(&machine, scale);
-        for threads in [0usize, 1, 2, 4] {
-            let engine = if threads == 0 {
-                EngineConfig::Sequential
-            } else {
-                EngineConfig::Windowed { threads }
-            };
+        let mut engines = vec![("sequential".to_string(), 0usize, EngineConfig::Sequential)];
+        for threads in [1usize, 2, 4] {
+            engines.push((
+                format!("windowed-{threads}t"),
+                threads,
+                EngineConfig::Windowed { threads },
+            ));
+            engines.push((
+                format!("optimistic-{threads}t"),
+                threads,
+                EngineConfig::Optimistic { threads },
+            ));
+        }
+        for (engine_name, threads, engine) in engines {
             let cfg = SystemConfig {
                 machine: machine.clone(),
                 policy: SpecPolicy::SwiFr,
@@ -271,10 +286,12 @@ fn scaling_rows() -> Vec<ScalingRow> {
             rows.push(ScalingRow {
                 nodes,
                 scale: scale_name,
+                engine: engine_name,
                 threads,
                 wall_ms: start.elapsed().as_secs_f64() * 1e3,
                 sim_events: stats.sim_events,
                 exec_cycles: stats.exec_cycles,
+                opt: stats.optimistic,
             });
         }
     }
@@ -447,17 +464,33 @@ fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow], faults: &[Fau
     for (i, r) in scaling.iter().enumerate() {
         let comma = if i + 1 == scaling.len() { "" } else { "," };
         let eps = r.sim_events as f64 / (r.wall_ms / 1e3);
-        let engine = if r.threads == 0 {
-            "sequential".to_string()
+        // Optimistic rows carry their window/validation counters — the
+        // commit ratio and re-execution volume explain their wall
+        // clock; the model outputs themselves stay engine-invariant.
+        let opt = if r.engine.starts_with("optimistic") {
+            let o = r.opt;
+            format!(
+                ", \"optimistic\": {{\"windows\": {}, \"committed\": {}, \"sync_aborts\": {}, \
+                 \"stuck_aborts\": {}, \"validation_failures\": {}, \"executions\": {}, \
+                 \"reexecutions\": {}, \"conservative_rounds\": {}}}",
+                o.windows,
+                o.committed,
+                o.sync_aborts,
+                o.stuck_aborts,
+                o.validation_failures,
+                o.executions,
+                o.reexecutions,
+                o.conservative_rounds
+            )
         } else {
-            format!("windowed-{}t", r.threads)
+            String::new()
         };
         let _ = writeln!(
             out,
-            "    {{\"app\": \"em3d\", \"nodes\": {}, \"scale\": \"{}\", \"engine\": \"{engine}\", \
+            "    {{\"app\": \"em3d\", \"nodes\": {}, \"scale\": \"{}\", \"engine\": \"{}\", \
              \"threads\": {}, \"wall_ms\": {:.1}, \"sim_events\": {}, \"events_per_sec\": {:.0}, \
-             \"exec_cycles\": {}}}{comma}",
-            r.nodes, r.scale, r.threads, r.wall_ms, r.sim_events, eps, r.exec_cycles
+             \"exec_cycles\": {}{opt}}}{comma}",
+            r.nodes, r.scale, r.engine, r.threads, r.wall_ms, r.sim_events, eps, r.exec_cycles
         );
     }
     out.push_str("  ],\n");

@@ -69,6 +69,7 @@ struct Shadow {
 /// deliveries happen in the receiving processor's shard, so the
 /// per-processor version floor `delivered` is consistent *there*. The
 /// two never need to agree across shards.
+#[derive(Clone)]
 pub(crate) struct Auditor {
     shadows: HashMap<BlockAddr, Shadow>,
     /// Highest data version delivered to each (processor, block).

@@ -83,7 +83,7 @@ pub use network::Network;
 pub use processor::Processor;
 pub use spec::{SpecPolicy, SpecStats, SpecStore};
 pub use spec_ref::MapSpecStore;
-pub use stats::{FaultStats, ProcStats, RunStats};
+pub use stats::{FaultStats, OptimisticStats, ProcStats, RunStats};
 pub use sync::{BarrierManager, LockManager};
 pub use system::{BuildError, EngineConfig, EngineError, GenericSystem, System, SystemConfig};
 

@@ -32,7 +32,7 @@ use specdsm_types::{LatencyConfig, NodeId};
 /// Messages between a node and itself (processor ↔ local directory)
 /// bypass the network entirely; the shard calls [`Network::note_local`]
 /// for accounting.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Network {
     lat: LatencyConfig,
     /// First owned node.

@@ -33,7 +33,7 @@
 use std::sync::Arc;
 
 use specdsm_core::{DirectoryTrace, SpecTicket, SpecTrigger, VSlot};
-use specdsm_sim::{Cycle, FifoResource, KeyedQueue, SchedKey};
+use specdsm_sim::{Cycle, FifoResource, KeyedQueue, KeyedQueueSnapshot, SchedKey};
 use specdsm_types::{
     BlockAddr, DirMsg, FaultPlan, LockId, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind,
 };
@@ -42,7 +42,7 @@ use crate::audit::Auditor;
 use crate::directory::{DirBlock, DirSlot, DirState, Directory, Txn, TxnKind};
 use crate::msg::{Msg, MsgKind};
 use crate::network::Network;
-use crate::processor::{Blocked, ProcAction, Processor};
+use crate::processor::{Blocked, ProcAction, ProcCheckpoint, Processor};
 use crate::spec::{SpecEngine, SpecStore};
 use crate::stats::FaultStats;
 
@@ -139,11 +139,44 @@ pub(crate) enum ShardYield {
 /// destination's inbound NI (departure + network hop); the receiving
 /// shard performs the inbound-NI acquisition when the message is merged
 /// at a window barrier, in global [`SchedKey`] order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct InFlight {
     pub key: SchedKey,
     pub at_dst: Cycle,
     pub msg: Msg,
+}
+
+/// A full checkpoint of one shard, taken at an optimistic window
+/// boundary. Borrowed (not consumed) by [`HomeShard::restore`], so one
+/// snapshot supports any number of re-execution passes.
+///
+/// Everything a window execution can mutate is captured — protocol
+/// state (directories, caches via [`ProcCheckpoint`], speculation
+/// stores), timing state (queue, resources, network interfaces), and
+/// every statistics counter — so a rolled-back pass leaves no trace in
+/// the final [`RunStats`](crate::RunStats). The op streams themselves
+/// are not copied (they are boxed iterators); the processor checkpoint
+/// marks them for replay instead.
+pub(crate) struct ShardSnapshot<V: SpecStore> {
+    procs: Vec<ProcCheckpoint>,
+    dirs: Vec<Directory>,
+    mems: Vec<FifoResource>,
+    net: Network,
+    spec: SpecEngine<V>,
+    queue: KeyedQueueSnapshot<Event>,
+    seq: u64,
+    cur: Cycle,
+    pending_in: std::collections::BTreeMap<SchedKey, InFlight>,
+    paused: Option<SyncOp>,
+    trace: Option<DirectoryTrace>,
+    last_cycle: Cycle,
+    done_count: usize,
+    dir_reads: u64,
+    dir_writes: u64,
+    dir_upgrades: u64,
+    fstats: FaultStats,
+    req_seen: Vec<Vec<u64>>,
+    audit: Option<Box<Auditor>>,
 }
 
 /// All simulation state of a contiguous range of nodes, plus the
@@ -349,6 +382,72 @@ impl<V: SpecStore> HomeShard<V> {
             Directive::ResumeSelf { proc, at } => {
                 self.sched_directed(at, at + 1, Event::Resume(proc));
             }
+        }
+    }
+
+    /// Captures the shard's complete state and marks every processor's
+    /// op stream so speculative consumption can be rewound.
+    ///
+    /// The outbox must be empty (the engine drains it every round);
+    /// asserting that here keeps the snapshot/restore pair symmetric.
+    pub(crate) fn checkpoint(&mut self) -> ShardSnapshot<V> {
+        debug_assert!(self.outbox.is_empty(), "checkpoint with undrained outbox");
+        ShardSnapshot {
+            procs: self.procs.iter_mut().map(Processor::checkpoint).collect(),
+            dirs: self.dirs.clone(),
+            mems: self.mems.clone(),
+            net: self.net.clone(),
+            spec: self.spec.clone(),
+            queue: self.queue.snapshot(),
+            seq: self.seq,
+            cur: self.cur,
+            pending_in: self.pending_in.clone(),
+            paused: self.paused,
+            trace: self.trace.clone(),
+            last_cycle: self.last_cycle,
+            done_count: self.done_count,
+            dir_reads: self.dir_reads,
+            dir_writes: self.dir_writes,
+            dir_upgrades: self.dir_upgrades,
+            fstats: self.fstats,
+            req_seen: self.req_seen.clone(),
+            audit: self.audit.clone(),
+        }
+    }
+
+    /// Rolls the shard back to `snap` (taken on this same shard).
+    /// Discards any buffered outbox sends of the abandoned execution.
+    pub(crate) fn restore(&mut self, snap: &ShardSnapshot<V>) {
+        for (p, ck) in self.procs.iter_mut().zip(&snap.procs) {
+            p.restore(ck);
+        }
+        self.dirs.clone_from(&snap.dirs);
+        self.mems.clone_from(&snap.mems);
+        self.net.clone_from(&snap.net);
+        self.spec.clone_from(&snap.spec);
+        self.queue.restore(&snap.queue);
+        self.seq = snap.seq;
+        self.cur = snap.cur;
+        self.pending_in.clone_from(&snap.pending_in);
+        self.paused = snap.paused;
+        self.trace.clone_from(&snap.trace);
+        self.last_cycle = snap.last_cycle;
+        self.done_count = snap.done_count;
+        self.dir_reads = snap.dir_reads;
+        self.dir_writes = snap.dir_writes;
+        self.dir_upgrades = snap.dir_upgrades;
+        self.fstats = snap.fstats;
+        self.req_seen.clone_from(&snap.req_seen);
+        self.audit.clone_from(&snap.audit);
+        self.outbox.clear();
+    }
+
+    /// Ends the checkpoint scope on every processor stream. With
+    /// `committed`, speculatively consumed ops become final; without
+    /// it, they stay queued for the conservative re-execution.
+    pub(crate) fn end_checkpoint(&mut self, committed: bool) {
+        for p in &mut self.procs {
+            p.end_checkpoint(committed);
         }
     }
 

@@ -35,14 +35,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 
 use specdsm_core::Vmsp;
-use specdsm_sim::Cycle;
-use specdsm_types::{ConfigError, FaultPlan, MachineConfig, ProcId, Workload};
+use specdsm_sim::{Cycle, MvView};
+use specdsm_types::{ConfigError, FaultPlan, MachineConfig, OptimisticConfig, ProcId, Workload};
 
 use crate::directory::DirState;
 use crate::processor::{Blocked, Processor};
-use crate::shard::{Directive, HomeShard, InFlight, ShardId, SyncKind, SyncOp};
+use crate::shard::{
+    Directive, HomeShard, InFlight, ShardId, ShardSnapshot, ShardYield, SyncKind, SyncOp,
+};
 use crate::spec::{SpecEngine, SpecPolicy, SpecStore};
-use crate::stats::RunStats;
+use crate::stats::{OptimisticStats, RunStats};
 use crate::sync::{BarrierManager, LockManager};
 
 /// Execution strategy of the protocol engine.
@@ -58,6 +60,19 @@ pub enum EngineConfig {
     /// values distribute shards over that many workers (output is
     /// identical either way).
     Windowed {
+        /// Worker threads (clamped to the shard count; 0 means 1).
+        threads: usize,
+    },
+    /// Per-home shards under the optimistic (Block-STM-style) window
+    /// scheduler: shards execute several lookahead periods past the
+    /// conservative horizon against a multi-version message view
+    /// ([`MvView`](specdsm_sim::MvView)), then a deterministic
+    /// validation pass re-executes only the shards whose recorded read
+    /// sets were invalidated. Sync phases and aborted windows fall
+    /// back to the conservative rounds of [`EngineConfig::Windowed`].
+    /// Output is bit-identical for any `threads` value; tuning knobs
+    /// live in [`SystemConfig::opt`].
+    Optimistic {
         /// Worker threads (clamped to the shard count; 0 means 1).
         threads: usize,
     },
@@ -98,6 +113,9 @@ pub struct SystemConfig {
     /// offending block) on any invariant violation. Purely
     /// observational — enabling it never perturbs timing or statistics.
     pub audit: bool,
+    /// Optimistic-engine tuning (window length, pass budget). Ignored
+    /// unless `engine` is [`EngineConfig::Optimistic`].
+    pub opt: OptimisticConfig,
 }
 
 impl Default for SystemConfig {
@@ -112,6 +130,7 @@ impl Default for SystemConfig {
             engine: EngineConfig::Sequential,
             faults: None,
             audit: false,
+            opt: OptimisticConfig::default(),
         }
     }
 }
@@ -221,6 +240,8 @@ pub struct GenericSystem<V: SpecStore = Vmsp> {
     barrier: BarrierManager,
     locks: LockManager,
     workload_name: String,
+    /// Window/validation/rollback counters of an optimistic run.
+    opt_stats: OptimisticStats,
 }
 
 /// The default speculative DSM: [`GenericSystem`] over the arena-backed
@@ -263,6 +284,88 @@ struct Plan {
     /// when no sync source remains (no release can ever happen).
     sync_guard: Option<Cycle>,
     per_shard: Vec<ShardPlan>,
+}
+
+/// One shard's marching orders for one optimistic window pass: execute
+/// the window speculatively from the pre-window snapshot against the
+/// current multi-version view contents.
+struct PassJob<'a, V: SpecStore> {
+    /// Shard id (== index into the window-global vectors).
+    idx: usize,
+    shard: &'a mut HomeShard<V>,
+    /// Pre-window snapshot, restored before every re-execution.
+    snap: &'a ShardSnapshot<V>,
+    /// Whether the shard holds a stale execution to roll back first
+    /// (true on every pass after a shard's first).
+    restore_first: bool,
+    /// Mail scheduled before the window floor — final, delivered
+    /// upfront exactly as a conservative round would.
+    pre: &'a [InFlight],
+    /// The shard's **read set**: the view's current entries for it,
+    /// in key order (pre-floor keys all precede these).
+    inputs: Vec<InFlight>,
+}
+
+/// What one pass execution produced.
+struct PassOut {
+    idx: usize,
+    /// The inputs the execution consumed, handed back for validation.
+    inputs: Vec<InFlight>,
+    /// The shard paused on a synchronization operation mid-window —
+    /// grounds for aborting the whole window.
+    syncing: bool,
+    /// The execution panicked; the shard state is garbage until
+    /// restored, and its publication must be retracted.
+    panicked: bool,
+    /// Cross-shard sends of the execution — the **write set**.
+    outs: Vec<(ShardId, InFlight)>,
+}
+
+impl<V: SpecStore> PassJob<'_, V> {
+    /// Executes the window speculatively and collects the write set.
+    /// Panics are contained here: speculative inputs may be garbage
+    /// (e.g. a protocol assertion fed a stale reply), so a panic marks
+    /// the result failed instead of killing the run — if it persists
+    /// once inputs are final, the conservative fallback reproduces it
+    /// through the [`EngineError`] path with true state.
+    fn run(self, end: Cycle) -> PassOut {
+        let PassJob {
+            idx,
+            shard,
+            snap,
+            restore_first,
+            pre,
+            inputs,
+        } = self;
+        if restore_first {
+            shard.restore(snap);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shard.deliver_batch(pre.iter().cloned());
+            shard.deliver_batch(inputs.iter().cloned());
+            let yielded = shard.run_until(end);
+            matches!(yielded, ShardYield::Sync) || shard.paused.is_some()
+        }));
+        match outcome {
+            Ok(syncing) => PassOut {
+                idx,
+                inputs,
+                syncing,
+                panicked: false,
+                outs: shard.outbox.drain(..).collect(),
+            },
+            Err(_) => {
+                shard.outbox.clear();
+                PassOut {
+                    idx,
+                    inputs,
+                    syncing: false,
+                    panicked: true,
+                    outs: Vec::new(),
+                }
+            }
+        }
+    }
 }
 
 fn opt_min(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
@@ -369,7 +472,13 @@ impl<V: SpecStore> GenericSystem<V> {
                 proc
             })
             .collect();
-        let sharded = matches!(cfg.engine, EngineConfig::Windowed { .. });
+        if matches!(cfg.engine, EngineConfig::Optimistic { .. }) {
+            cfg.opt.validate()?;
+        }
+        let sharded = matches!(
+            cfg.engine,
+            EngineConfig::Windowed { .. } | EngineConfig::Optimistic { .. }
+        );
         let ranges: Vec<(usize, usize)> = if sharded {
             (0..n).map(|i| (i, i + 1)).collect()
         } else {
@@ -398,6 +507,7 @@ impl<V: SpecStore> GenericSystem<V> {
             locks: LockManager::new(),
             workload_name: workload.name().to_string(),
             cfg,
+            opt_stats: OptimisticStats::default(),
         })
     }
 
@@ -447,6 +557,10 @@ impl<V: SpecStore> GenericSystem<V> {
                 } else {
                     self.run_windowed_parallel(workers)?;
                 }
+            }
+            EngineConfig::Optimistic { threads } => {
+                let workers = threads.clamp(1, self.shards.len());
+                self.run_optimistic(workers)?;
             }
         }
         self.check_quiescent();
@@ -811,6 +925,312 @@ impl<V: SpecStore> GenericSystem<V> {
     }
 
     // ------------------------------------------------------------------
+    // Optimistic driver
+    // ------------------------------------------------------------------
+
+    /// Optimistic execution: conservative bounded-lag rounds for sync
+    /// phases, speculative multi-round windows everywhere else.
+    ///
+    /// Each loop iteration plans a round exactly like the windowed
+    /// drivers. When the plan is *pure* — no parked or blocked sync
+    /// anywhere — the engine attempts an optimistic window of
+    /// `opt.window_rounds` lookahead periods instead: every shard
+    /// executes the whole window speculatively against the
+    /// multi-version message view, and a deterministic validation
+    /// fixpoint re-executes only shards whose read sets changed
+    /// ([`Self::attempt_window`]). A committed window replaces
+    /// `window_rounds` conservative rounds and their barriers; an
+    /// aborted window falls back to conservative rounds (with a
+    /// cool-down of one window so a sync-dense phase is not repeatedly
+    /// re-speculated).
+    ///
+    /// Determinism: the attempt/commit/abort decisions are pure
+    /// functions of published shard state, and pass executions are
+    /// per-shard-independent, so the outcome is bit-identical for any
+    /// `workers` value — the same invariant the windowed engine keeps.
+    fn run_optimistic(&mut self, workers: usize) -> Result<(), EngineError> {
+        let lookahead = self.lookahead();
+        let n = self.shards.len();
+        let one_way = self.cfg.machine.latency.one_way();
+        let window = lookahead * u64::from(self.cfg.opt.window_rounds);
+        let max_passes = self.cfg.opt.max_passes;
+        let mut staging: Vec<Vec<InFlight>> = (0..n).map(|_| Vec::new()).collect();
+        let mut next_staging: Vec<Vec<InFlight>> = (0..n).map(|_| Vec::new()).collect();
+        let mut reports: Vec<ShardReport> = Vec::with_capacity(n);
+        let mut cooldown: u32 = 0;
+        let mut ostats = OptimisticStats::default();
+        loop {
+            reports.clear();
+            reports.extend(self.shards.iter().map(Self::report));
+            let staged_bound = staging
+                .iter()
+                .flatten()
+                .map(|m| Cycle(m.key.sched) + one_way)
+                .min();
+            let Some(mut plan) = self.plan_round(&reports, staged_bound) else {
+                break;
+            };
+            let pure = cooldown == 0
+                && reports.iter().all(|r| r.op.is_none() && !r.sync_blocked)
+                && plan
+                    .per_shard
+                    .iter()
+                    .all(|p| p.directives.is_empty() && !p.resolved);
+            if pure {
+                if self.attempt_window(
+                    plan.floor,
+                    window,
+                    max_passes,
+                    &staging,
+                    workers,
+                    &mut ostats,
+                ) {
+                    // Committed: the staged mail was consumed by the
+                    // window (every entry seeded the view or was
+                    // delivered upfront).
+                    for s in &mut staging {
+                        s.clear();
+                    }
+                    continue;
+                }
+                cooldown = self.cfg.opt.window_rounds;
+            }
+            cooldown = cooldown.saturating_sub(1);
+            ostats.conservative_rounds += 1;
+            // Conservative fallback round — identical to one
+            // `run_windowed_serial` round.
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                catch_unwind(AssertUnwindSafe(|| {
+                    Self::shard_round(
+                        shard,
+                        &mut plan.per_shard[i],
+                        &mut staging[i],
+                        plan.floor,
+                        plan.sync_guard,
+                        lookahead,
+                    );
+                }))
+                .map_err(|payload| EngineError::WorkerPanic {
+                    shard: i,
+                    window_floor: plan.floor.raw(),
+                    message: panic_message(payload),
+                })?;
+                for (dst, m) in shard.outbox.drain(..) {
+                    next_staging[dst as usize].push(m);
+                }
+            }
+            std::mem::swap(&mut staging, &mut next_staging);
+        }
+        self.opt_stats = ostats;
+        Ok(())
+    }
+
+    /// Attempts one optimistic window `[floor, floor + window)`.
+    /// Returns `true` if the window validated and committed; on
+    /// `false` every shard has been rolled back to its pre-window
+    /// state (pending arrivals reinstated, op streams rewound) and the
+    /// caller proceeds conservatively. `staging` is only read — the
+    /// caller clears it on commit and delivers it on abort.
+    ///
+    /// The pass fixpoint (pevm's execute/validate loop, transplanted):
+    ///
+    /// 1. Every shard executes the window from its snapshot, its input
+    ///    mailbox being the view's current entries for it (its
+    ///    recorded **read set**); its cross-shard sends are published
+    ///    to the view as its **write set**, replacing its previous
+    ///    publication wholesale.
+    /// 2. Validation walks shards in ascending id: a shard is invalid
+    ///    if its execution panicked, its read set no longer equals the
+    ///    view, or it read an estimate-marked entry. Invalid shards'
+    ///    publications are estimate-marked (tainting *their* readers,
+    ///    still in ascending order) and they re-execute next pass.
+    /// 3. No invalid shards → commit. A shard hitting a sync op, a
+    ///    pass budget exhaustion, or a persistent panic → abort.
+    ///
+    /// Sync is never speculated through: arbitration order depends on
+    /// global manager state that rollback cannot cheaply restore, so
+    /// any shard pausing mid-window aborts the window and the
+    /// conservative rounds rediscover the operation at the exact cycle
+    /// the windowed engine would.
+    fn attempt_window(
+        &mut self,
+        floor: Cycle,
+        window: u64,
+        max_passes: u32,
+        staging: &[Vec<InFlight>],
+        workers: usize,
+        ostats: &mut OptimisticStats,
+    ) -> bool {
+        let n = self.shards.len();
+        let end = floor + window;
+        ostats.windows += 1;
+
+        // Partition each shard's known mail (staged + leftover pending
+        // arrivals): entries scheduled before the floor are delivered
+        // upfront exactly as a conservative round would; later entries
+        // seed the view as already-final versions.
+        let mut pre: Vec<Vec<InFlight>> = Vec::with_capacity(n);
+        let mut from_pending: Vec<Vec<InFlight>> = Vec::with_capacity(n);
+        let mut view: MvView<InFlight> = MvView::new(n);
+        for (d, shard) in self.shards.iter_mut().enumerate() {
+            let pending: Vec<InFlight> = std::mem::take(&mut shard.pending_in)
+                .into_values()
+                .collect();
+            let mut early: Vec<InFlight> = Vec::new();
+            for m in staging[d].iter().chain(pending.iter()) {
+                if m.key.sched < floor.raw() {
+                    early.push(m.clone());
+                } else {
+                    view.seed(d, m.key, m.clone());
+                }
+            }
+            early.sort_unstable_by_key(|m| m.key);
+            pre.push(early);
+            from_pending.push(pending);
+        }
+        // Snapshot every shard (pending buffers now empty, so a
+        // restore leaves them empty — the abort path reinstates
+        // `from_pending` explicitly).
+        let snaps: Vec<ShardSnapshot<V>> =
+            self.shards.iter_mut().map(HomeShard::checkpoint).collect();
+
+        let mut given: Vec<Vec<InFlight>> = (0..n).map(|_| Vec::new()).collect();
+        let mut failed: Vec<bool> = vec![false; n];
+        let mut need: Vec<bool> = vec![true; n];
+        let mut outcome: Option<bool> = None;
+
+        for pass in 0..max_passes {
+            // Build this pass's jobs in ascending shard id.
+            let mut jobs: Vec<PassJob<'_, V>> = Vec::new();
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                if !need[i] {
+                    continue;
+                }
+                jobs.push(PassJob {
+                    idx: i,
+                    shard,
+                    snap: &snaps[i],
+                    restore_first: pass > 0,
+                    pre: &pre[i],
+                    inputs: view.read(i).into_iter().map(|(_, m)| m).collect(),
+                });
+            }
+            ostats.executions += jobs.len() as u64;
+            if pass > 0 {
+                ostats.reexecutions += jobs.len() as u64;
+            }
+
+            // Execute the jobs — inline, or chunked over workers. Each
+            // job touches only its own shard, so results are identical
+            // either way; they come back in ascending shard id.
+            let results: Vec<PassOut> = if workers <= 1 || jobs.len() <= 1 {
+                jobs.into_iter().map(|j| j.run(end)).collect()
+            } else {
+                let parts = scoped_pool::balanced_partition(jobs.len(), workers);
+                let mut chunks: Vec<Vec<PassJob<'_, V>>> = Vec::with_capacity(parts.len());
+                for &(lo, _) in parts.iter().rev() {
+                    chunks.push(jobs.split_off(lo));
+                }
+                chunks.reverse();
+                scoped_pool::fork_join(&mut chunks, |_, chunk: &mut Vec<PassJob<'_, V>>| {
+                    chunk.drain(..).map(|j| j.run(end)).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            };
+
+            // A sync operation surfaced mid-window: abort the whole
+            // window; speculation never crosses sync arbitration.
+            if results.iter().any(|r| r.syncing) {
+                ostats.sync_aborts += 1;
+                outcome = Some(false);
+                break;
+            }
+
+            // Publish write sets in ascending shard id.
+            for r in &results {
+                let src = r.idx as ShardId;
+                if r.panicked {
+                    failed[r.idx] = true;
+                    view.retract(src);
+                } else {
+                    failed[r.idx] = false;
+                    view.publish(
+                        src,
+                        pass,
+                        r.outs
+                            .iter()
+                            .map(|(dst, m)| (*dst as usize, m.key, m.clone()))
+                            .collect(),
+                    );
+                }
+            }
+            for r in results {
+                given[r.idx] = r.inputs;
+            }
+
+            // Validate in ascending shard id. Marking an invalid
+            // shard's publication as estimates taints its readers
+            // *later in this same walk* — the deterministic cascade.
+            let mut any_invalid = false;
+            let mut progress = false;
+            for d in 0..n {
+                let current: Vec<InFlight> = view.read(d).into_iter().map(|(_, m)| m).collect();
+                let tainted = view.has_estimate(d);
+                let changed = tainted || given[d] != current;
+                if !(changed || failed[d]) {
+                    need[d] = false;
+                    continue;
+                }
+                any_invalid = true;
+                need[d] = true;
+                if changed {
+                    progress = true;
+                    if !failed[d] {
+                        ostats.validation_failures += 1;
+                    }
+                }
+                view.mark_estimates(d as ShardId);
+            }
+            if !any_invalid {
+                outcome = Some(true);
+                break;
+            }
+            if !progress {
+                // Only failed shards with unchanged inputs remain:
+                // re-execution would deterministically fail again.
+                // Abort; the conservative rounds reproduce a real
+                // failure through the EngineError path.
+                ostats.stuck_aborts += 1;
+                outcome = Some(false);
+                break;
+            }
+        }
+        let committed = match outcome {
+            Some(c) => c,
+            None => {
+                ostats.stuck_aborts += 1;
+                false
+            }
+        };
+
+        if committed {
+            for shard in &mut self.shards {
+                shard.end_checkpoint(true);
+            }
+            ostats.committed += 1;
+        } else {
+            for (d, shard) in self.shards.iter_mut().enumerate() {
+                shard.restore(&snaps[d]);
+                shard.end_checkpoint(false);
+                shard.receive(from_pending[d].drain(..));
+            }
+        }
+        committed
+    }
+
+    // ------------------------------------------------------------------
     // End-of-run checks and statistics
     // ------------------------------------------------------------------
 
@@ -936,6 +1356,7 @@ impl<V: SpecStore> GenericSystem<V> {
 
     fn into_stats(self) -> RunStats {
         let cfg = self.cfg;
+        let optimistic = self.opt_stats;
         let mut per_proc = Vec::with_capacity(self.shards.iter().map(|s| s.procs.len()).sum());
         let mut sim_events = 0;
         let mut remote_messages = 0;
@@ -995,6 +1416,7 @@ impl<V: SpecStore> GenericSystem<V> {
             dir_upgrades,
             spec,
             faults,
+            optimistic,
             predictor,
             trace,
         }

@@ -1,0 +1,221 @@
+//! Multi-version message view for optimistic shard execution.
+//!
+//! [`MvView`] is the message-passing analogue of Block-STM / pevm's
+//! `MvMemory`: where those track *memory locations* written by
+//! speculative transactions, the optimistic protocol engine tracks
+//! *cross-shard messages* produced by speculative window executions.
+//! The unit of versioning is a source shard's entire publication for
+//! one window pass, because a shard's execution is deterministic in its
+//! inputs — if any of its inputs changed, *all* of its outputs are
+//! suspect and get republished wholesale.
+//!
+//! The view distinguishes three entry states per `(dst, key)` slot:
+//!
+//! * **base** — finalized arrivals carried in from committed
+//!   conservative rounds or prior windows; never replaced or marked.
+//! * **speculative** — published by a source shard's latest pass
+//!   execution; replaced wholesale on republication, removed on
+//!   retraction (failed execution).
+//! * **estimate** — a speculative entry whose producer has since been
+//!   invalidated. Readers that consumed an estimate must re-validate:
+//!   [`MvView::has_estimate`] makes the whole destination dirty, the
+//!   optimistic driver's analogue of pevm blocking a transaction that
+//!   read an `Estimate` marker.
+//!
+//! Keys are [`SchedKey`]s, globally unique per scheduling action (the
+//! key embeds the source shard), so two sources can never collide on a
+//! slot and last-write-wins questions do not arise — the property that
+//! the `tests/properties.rs` differential against a naive
+//! single-version reference model locks down.
+
+use std::collections::BTreeMap;
+
+use crate::keyed::SchedKey;
+
+/// One speculative entry: a payload plus its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecEntry<M> {
+    /// Shard whose pass execution produced this entry.
+    pub src: u32,
+    /// Pass number of the producing execution (monotone per window).
+    pub version: u32,
+    /// Set when the producer was invalidated after publishing; the
+    /// entry's payload is then a stale guess pending republication.
+    pub estimate: bool,
+    /// The message itself.
+    pub payload: M,
+}
+
+/// Per-(destination shard, window) versioned mailbox: the multi-version
+/// message view the optimistic engine validates read sets against.
+///
+/// See the module docs for the three entry states. All operations are
+/// deterministic functions of the call sequence; iteration orders come
+/// from `BTreeMap`s keyed by [`SchedKey`].
+#[derive(Debug, Clone)]
+pub struct MvView<M> {
+    /// Finalized arrivals per destination (committed before the window).
+    base: Vec<BTreeMap<SchedKey, M>>,
+    /// Speculative entries per destination.
+    spec: Vec<BTreeMap<SchedKey, SpecEntry<M>>>,
+    /// Per source shard: the `(dst, key)` slots its latest publication
+    /// occupies, so republication/retraction can find them in O(own).
+    published: Vec<Vec<(usize, SchedKey)>>,
+}
+
+impl<M: Clone + PartialEq> MvView<M> {
+    /// An empty view over `shards` destinations.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        MvView {
+            base: (0..shards).map(|_| BTreeMap::new()).collect(),
+            spec: (0..shards).map(|_| BTreeMap::new()).collect(),
+            published: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of destination shards the view covers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Seeds a finalized arrival for `dst`. Base entries participate in
+    /// every read but are never replaced, retracted, or estimated.
+    pub fn seed(&mut self, dst: usize, key: SchedKey, payload: M) {
+        let prev = self.base[dst].insert(key, payload);
+        debug_assert!(prev.is_none(), "duplicate base key for dst {dst}");
+    }
+
+    /// Replaces source shard `src`'s entire speculative publication
+    /// with `entries` (the cross-shard sends of its pass-`version`
+    /// execution). Clears any estimate markers on the source: the new
+    /// entries are its current best execution, not a stale guess.
+    pub fn publish(&mut self, src: u32, version: u32, entries: Vec<(usize, SchedKey, M)>) {
+        self.retract(src);
+        let slots = &mut self.published[src as usize];
+        for (dst, key, payload) in entries {
+            debug_assert_eq!(key.src, src, "published key carries foreign src");
+            let prev = self.spec[dst].insert(
+                key,
+                SpecEntry {
+                    src,
+                    version,
+                    estimate: false,
+                    payload,
+                },
+            );
+            debug_assert!(prev.is_none(), "slot collision across sources");
+            slots.push((dst, key));
+        }
+    }
+
+    /// Removes source shard `src`'s speculative publication entirely
+    /// (its execution failed; it currently has no believable output).
+    pub fn retract(&mut self, src: u32) {
+        for (dst, key) in std::mem::take(&mut self.published[src as usize]) {
+            self.spec[dst].remove(&key);
+        }
+    }
+
+    /// Marks source shard `src`'s current publication as estimates:
+    /// the producer was invalidated, so until it republishes, readers
+    /// of these slots are reading stale guesses.
+    pub fn mark_estimates(&mut self, src: u32) {
+        for &(dst, key) in &self.published[src as usize] {
+            self.spec[dst]
+                .get_mut(&key)
+                .expect("published slot present")
+                .estimate = true;
+        }
+    }
+
+    /// The merged, key-ordered mailbox contents for `dst`: base entries
+    /// plus current speculative entries (estimates included — readers
+    /// check [`Self::has_estimate`] to learn their read was tainted).
+    #[must_use]
+    pub fn read(&self, dst: usize) -> Vec<(SchedKey, M)> {
+        let base = self.base[dst].iter().map(|(k, m)| (*k, m.clone()));
+        let spec = self.spec[dst].iter().map(|(k, e)| (*k, e.payload.clone()));
+        let mut merged: Vec<(SchedKey, M)> = base.chain(spec).collect();
+        merged.sort_by_key(|(k, _)| *k);
+        merged
+    }
+
+    /// Whether any entry currently visible to `dst` is an estimate.
+    #[must_use]
+    pub fn has_estimate(&self, dst: usize) -> bool {
+        self.spec[dst].values().any(|e| e.estimate)
+    }
+
+    /// Number of entries (base + speculative) visible to `dst`.
+    #[must_use]
+    pub fn len(&self, dst: usize) -> usize {
+        self.base[dst].len() + self.spec[dst].len()
+    }
+
+    /// Whether `dst` currently sees no entries at all.
+    #[must_use]
+    pub fn is_empty(&self, dst: usize) -> bool {
+        self.len(dst) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u32, sched: u64, seq: u64) -> SchedKey {
+        SchedKey { sched, src, seq }
+    }
+
+    #[test]
+    fn publish_replaces_wholesale() {
+        let mut v: MvView<&str> = MvView::new(3);
+        v.publish(1, 0, vec![(0, key(1, 5, 0), "a"), (2, key(1, 6, 1), "b")]);
+        assert_eq!(v.read(0), vec![(key(1, 5, 0), "a")]);
+        assert_eq!(v.read(2), vec![(key(1, 6, 1), "b")]);
+        // Republication drops the old dst-2 entry and moves output.
+        v.publish(1, 1, vec![(0, key(1, 5, 0), "a2")]);
+        assert_eq!(v.read(0), vec![(key(1, 5, 0), "a2")]);
+        assert!(v.is_empty(2));
+    }
+
+    #[test]
+    fn base_merges_in_key_order_and_survives_retract() {
+        let mut v: MvView<u32> = MvView::new(2);
+        v.seed(0, key(2, 3, 0), 30);
+        v.publish(1, 0, vec![(0, key(1, 4, 0), 40), (0, key(1, 2, 1), 20)]);
+        assert_eq!(
+            v.read(0),
+            vec![(key(1, 2, 1), 20), (key(2, 3, 0), 30), (key(1, 4, 0), 40)]
+        );
+        v.retract(1);
+        assert_eq!(v.read(0), vec![(key(2, 3, 0), 30)]);
+        assert_eq!(v.len(0), 1);
+    }
+
+    #[test]
+    fn estimates_taint_readers_until_republication() {
+        let mut v: MvView<&str> = MvView::new(2);
+        v.publish(0, 0, vec![(1, key(0, 7, 0), "guess")]);
+        assert!(!v.has_estimate(1));
+        v.mark_estimates(0);
+        assert!(v.has_estimate(1));
+        // The tainted payload is still readable (best available guess).
+        assert_eq!(v.read(1), vec![(key(0, 7, 0), "guess")]);
+        v.publish(0, 1, vec![(1, key(0, 7, 0), "fixed")]);
+        assert!(!v.has_estimate(1));
+        assert_eq!(v.read(1), vec![(key(0, 7, 0), "fixed")]);
+    }
+
+    #[test]
+    fn retract_clears_estimates_too() {
+        let mut v: MvView<u8> = MvView::new(1);
+        v.publish(0, 0, vec![(0, key(0, 1, 0), 1)]);
+        v.mark_estimates(0);
+        v.retract(0);
+        assert!(!v.has_estimate(0));
+        assert!(v.is_empty(0));
+    }
+}

@@ -208,6 +208,60 @@ impl Default for MachineConfig {
     }
 }
 
+/// Tuning knobs of the optimistic (Block-STM-style) protocol engine.
+///
+/// The optimistic engine executes each shard speculatively through a
+/// *window* of `window_rounds` lookahead periods (the conservative
+/// engine's round is exactly one lookahead), then validates recorded
+/// cross-shard read sets against the multi-version message view and
+/// re-executes only invalidated shards. `max_passes` bounds that
+/// fixpoint; exhausting it aborts the window to the conservative path,
+/// so progress never depends on speculation converging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimisticConfig {
+    /// Window length in units of the bounded-lag lookahead (the
+    /// one-way network latency). Must be at least 2 — a one-round
+    /// window is just the conservative engine plus snapshot overhead.
+    pub window_rounds: u32,
+    /// Maximum execute/validate passes per window before the window
+    /// aborts to conservative execution. Must be at least 1.
+    pub max_passes: u32,
+}
+
+impl OptimisticConfig {
+    /// Checks the structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadOptimisticConfig`] if `window_rounds`
+    /// is below 2 or `max_passes` is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window_rounds < 2 {
+            return Err(ConfigError::BadOptimisticConfig {
+                reason: "window_rounds must be at least 2 lookahead periods",
+            });
+        }
+        if self.max_passes == 0 {
+            return Err(ConfigError::BadOptimisticConfig {
+                reason: "max_passes must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for OptimisticConfig {
+    fn default() -> Self {
+        // Four conservative rounds per window amortizes the snapshot
+        // cost well below the re-execution cost on the paper suite;
+        // eight passes is far beyond observed convergence (2-3).
+        OptimisticConfig {
+            window_rounds: 4,
+            max_passes: 8,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,12 @@ pub enum ConfigError {
         /// What is wrong with the plan.
         reason: &'static str,
     },
+    /// An [`crate::OptimisticConfig`] violates its structural
+    /// invariants (degenerate window, zero pass budget).
+    BadOptimisticConfig {
+        /// What is wrong with the configuration.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -52,6 +58,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            ConfigError::BadOptimisticConfig { reason } => {
+                write!(f, "invalid optimistic engine config: {reason}")
             }
         }
     }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adversarial;
 mod apps;
 mod jitter;
 mod micro;
@@ -38,6 +39,7 @@ mod space;
 mod stream;
 mod suite;
 
+pub use adversarial::{adversarial_suite, HotspotStorm, MigratoryPingPong};
 pub use apps::appbt::{Appbt, AppbtParams};
 pub use apps::barnes::{Barnes, BarnesParams};
 pub use apps::em3d::{Em3d, Em3dParams};

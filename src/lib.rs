@@ -56,10 +56,12 @@ pub use specdsm_workloads as workloads;
 pub mod prelude {
     pub use specdsm_analytic::ModelParams;
     pub use specdsm_core::{Cosmos, DirectoryTrace, Msp, PredictorKind, SharingPredictor, Vmsp};
-    pub use specdsm_protocol::{FaultStats, RunStats, SpecPolicy, System, SystemConfig};
+    pub use specdsm_protocol::{
+        FaultStats, OptimisticStats, RunStats, SpecPolicy, System, SystemConfig,
+    };
     pub use specdsm_types::{
         BlockAddr, DirMsg, FaultPlan, MachineConfig, NodeId, Op, OpStream, ProcId, ReaderSet,
         ReqKind, Workload,
     };
-    pub use specdsm_workloads::{fault_plan, suite, AppId, Scale};
+    pub use specdsm_workloads::{adversarial_suite, fault_plan, suite, AppId, Scale};
 }

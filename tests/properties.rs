@@ -699,3 +699,135 @@ proptest! {
         prop_assert_eq!(q.scheduled_total(), scheduled);
     }
 }
+
+// ---------------------------------------------------------------------
+// MvView matches a naive single-version reference model
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The multi-version message view under random interleavings of
+    /// seed (finalize), publish (write), retract (rollback), estimate
+    /// marking (invalidation), and read — checked op by op against a
+    /// naive flat-map reference. Publications deliberately reuse their
+    /// source's previous keys (wholesale replacement), and reads after
+    /// retract exercise the re-read-after-abort path the optimistic
+    /// engine relies on.
+    #[test]
+    fn mv_view_matches_single_version_model(
+        shards in 2usize..5,
+        ops in proptest::collection::vec(
+            (0u8..5, 0usize..4, 0u32..4, 0u64..40, 0usize..4),
+            1..150,
+        ),
+    ) {
+        use specdsm::sim::{MvView, SchedKey};
+
+        // The reference: one flat map per layer, no version indexing.
+        #[derive(Default)]
+        struct Model {
+            base: std::collections::BTreeMap<(usize, SchedKey), u32>,
+            /// (dst, key) -> (src, estimate, payload)
+            spec: std::collections::BTreeMap<(usize, SchedKey), (u32, bool, u32)>,
+        }
+        impl Model {
+            fn read(&self, dst: usize) -> Vec<(SchedKey, u32)> {
+                let mut out: Vec<(SchedKey, u32)> = self
+                    .base
+                    .iter()
+                    .filter(|((d, _), _)| *d == dst)
+                    .map(|((_, k), m)| (*k, *m))
+                    .chain(
+                        self.spec
+                            .iter()
+                            .filter(|((d, _), _)| *d == dst)
+                            .map(|((_, k), (_, _, m))| (*k, *m)),
+                    )
+                    .collect();
+                out.sort_by_key(|(k, _)| *k);
+                out
+            }
+            fn has_estimate(&self, dst: usize) -> bool {
+                self.spec
+                    .iter()
+                    .any(|((d, _), (_, e, _))| *d == dst && *e)
+            }
+        }
+
+        let mut view: MvView<u32> = MvView::new(shards);
+        let mut model = Model::default();
+        let mut seed_seq = 1_000_000u64; // disjoint from publication keys
+        let mut round = 0u32;
+
+        for (kind, dst, src, sched, extra) in ops {
+            let dst = dst % shards;
+            let src = src % shards as u32;
+            match kind {
+                // Finalize: a base entry under a globally fresh key.
+                0 => {
+                    let key = SchedKey { sched, src, seq: seed_seq };
+                    seed_seq += 1;
+                    view.seed(dst, key, sched as u32);
+                    model.base.insert((dst, key), sched as u32);
+                }
+                // Write: wholesale publication for `src`. Keys derive
+                // from (src, j, extra parity) so consecutive
+                // publications of one source often collide with their
+                // own previous keys — never with another source's.
+                1 => {
+                    round += 1;
+                    let entries: Vec<(usize, SchedKey, u32)> = (0..extra)
+                        .map(|j| {
+                            let key = SchedKey {
+                                sched: sched + j as u64,
+                                src,
+                                seq: (u64::from(src) << 8) | ((extra % 2) * 16 + j) as u64,
+                            };
+                            ((dst + j) % shards, key, (round << 8) | j as u32)
+                        })
+                        .collect();
+                    for (d, k, _) in &entries {
+                        prop_assert!(
+                            !model.base.contains_key(&(*d, *k)),
+                            "generator kept base/publication keys disjoint"
+                        );
+                    }
+                    // Mirror the wholesale replacement.
+                    model.spec.retain(|_, (s, _, _)| *s != src);
+                    for (d, k, m) in &entries {
+                        model.spec.insert((*d, *k), (src, false, *m));
+                    }
+                    view.publish(src, round, entries);
+                }
+                // Rollback: the source's whole publication vanishes.
+                2 => {
+                    view.retract(src);
+                    model.spec.retain(|_, (s, _, _)| *s != src);
+                }
+                // Invalidation: the source's publication goes stale.
+                3 => {
+                    view.mark_estimates(src);
+                    for (s, e, _) in model.spec.values_mut() {
+                        if *s == src {
+                            *e = true;
+                        }
+                    }
+                }
+                // Read: full merged comparison below covers it.
+                _ => {}
+            }
+            // Compare every destination after every op — reads after
+            // aborts and invalidations are just later loop iterations.
+            for d in 0..shards {
+                prop_assert_eq!(view.read(d), model.read(d), "dst {} diverged", d);
+                prop_assert_eq!(
+                    view.has_estimate(d),
+                    model.has_estimate(d),
+                    "dst {} estimate flag diverged",
+                    d
+                );
+                prop_assert_eq!(view.len(d), model.read(d).len());
+                prop_assert_eq!(view.is_empty(d), model.read(d).is_empty());
+            }
+        }
+    }
+}

@@ -26,6 +26,15 @@
 //!    The test pins per-processor access counts exactly and total
 //!    timing/traffic within tight tolerances.
 //!
+//! A third engine joins the oracle: **optimistic** (Block-STM-style
+//! speculative windows over the multi-version message view). It makes
+//! the same two claims at the same strengths — bit-identical across
+//! worker-thread counts (its window/validation/rollback counters
+//! included), same-machine against the sequential engine — plus one of
+//! its own: rollback is invisible, so a run under the fault-injection
+//! plan (whose retry timers must survive window aborts) stays exactly
+//! as deterministic as a reliable one.
+//!
 //! Scale: `Quick` by default so `cargo test` stays fast; CI re-runs
 //! this file in **release** mode (covering the LTO build) with
 //! `SPECDSM_DIFF_SCALE=default` for the full-size inputs.
@@ -202,6 +211,139 @@ fn windowed_engine_scales_beyond_64_nodes() {
             }
         }
     }
+}
+
+/// The optimistic engine across the full suite and every policy:
+/// bit-identical for any worker-thread count — including the
+/// window/commit/abort/validation counters, which describe scheduling
+/// decisions and are therefore the most sensitive to a determinism
+/// leak — and simulating the same machine as the sequential engine.
+#[test]
+fn optimistic_engine_is_bit_identical_across_threads() {
+    let machine = MachineConfig::paper_machine();
+    let scale = scale();
+    let mut windows = 0u64;
+    let mut committed = 0u64;
+    for app in AppId::ALL {
+        let w = app.build(&machine, scale);
+        for policy in SpecPolicy::ALL {
+            let seq = run_with(&machine, policy, EngineConfig::Sequential, w.as_ref());
+            let one = run_with(
+                &machine,
+                policy,
+                EngineConfig::Optimistic { threads: 1 },
+                w.as_ref(),
+            );
+            assert_same_machine(&seq, &one, &format!("opt:{app}/{policy}"));
+            for threads in [2usize, 4] {
+                let many = run_with(
+                    &machine,
+                    policy,
+                    EngineConfig::Optimistic { threads },
+                    w.as_ref(),
+                );
+                let ctx = format!("opt:{app}/{policy}/threads={threads}");
+                assert_bit_identical(&one, &many, &ctx);
+                assert_eq!(one.optimistic, many.optimistic, "{ctx}: window counters");
+            }
+            windows += one.optimistic.windows;
+            committed += one.optimistic.committed;
+        }
+    }
+    // The engine must actually speculate on this suite, and some of it
+    // must pay off — otherwise the test only covered the fallback path.
+    assert!(windows > 0, "suite attempted optimistic windows");
+    assert!(committed > 0, "suite committed optimistic windows");
+}
+
+/// The optimistic engine under the suite-standard fault-injection
+/// plan: pending retry timers, dedup state, and recovery accounting
+/// must survive window rollback bit-exactly. The fault counters join
+/// the cross-thread comparison, and the suite must actually exercise
+/// recovery (retries fire) *and* speculation (windows commit) in the
+/// same runs.
+#[test]
+fn optimistic_engine_is_deterministic_under_faults() {
+    let machine = MachineConfig::paper_machine();
+    let plan = fault_plan(0x1a1f);
+    let mut retries = 0u64;
+    let mut committed = 0u64;
+    for app in [AppId::Em3d, AppId::Moldyn, AppId::Ocean] {
+        let w = app.build(&machine, scale());
+        for policy in SpecPolicy::ALL {
+            let run = |threads: usize| {
+                let cfg = SystemConfig {
+                    machine: machine.clone(),
+                    policy,
+                    engine: EngineConfig::Optimistic { threads },
+                    faults: Some(plan.clone()),
+                    audit: true,
+                    max_cycles: Some(2_000_000_000),
+                    ..SystemConfig::default()
+                };
+                specdsm::protocol::System::new(cfg, w.as_ref())
+                    .expect("valid system")
+                    .run()
+            };
+            let one = run(1);
+            for threads in [2usize, 4] {
+                let many = run(threads);
+                let ctx = format!("opt-fault:{app}/{policy}/threads={threads}");
+                assert_bit_identical(&one, &many, &ctx);
+                assert_eq!(one.faults, many.faults, "{ctx}: fault counters");
+                assert_eq!(one.optimistic, many.optimistic, "{ctx}: window counters");
+            }
+            retries += one.faults.retries;
+            committed += one.optimistic.committed;
+        }
+    }
+    assert!(retries > 0, "fault recovery fired under speculation");
+    assert!(committed > 0, "windows committed despite fault injection");
+}
+
+/// The adversarial conflict generators (hotspot-home storm, migratory
+/// ping-pong) exist to make the optimistic engine suffer: their
+/// barrier-free cross-shard storms must produce real contention —
+/// nonzero read-set invalidations *and* nonzero whole-window aborts —
+/// while the results stay bit-identical across worker-thread counts
+/// and on the same machine as the sequential engine. Slow is allowed;
+/// wrong is not.
+#[test]
+fn adversarial_workloads_abort_windows_but_stay_deterministic() {
+    let machine = MachineConfig::paper_machine();
+    let mut invalidations = 0u64;
+    let mut aborts = 0u64;
+    let mut committed = 0u64;
+    for w in adversarial_suite(&machine, scale()) {
+        for policy in [SpecPolicy::Base, SpecPolicy::SwiFr] {
+            let name = w.name().to_string();
+            let seq = run_with(&machine, policy, EngineConfig::Sequential, w.as_ref());
+            let one = run_with(
+                &machine,
+                policy,
+                EngineConfig::Optimistic { threads: 1 },
+                w.as_ref(),
+            );
+            assert_same_machine(&seq, &one, &format!("adv:{name}/{policy}"));
+            for threads in [2usize, 4] {
+                let many = run_with(
+                    &machine,
+                    policy,
+                    EngineConfig::Optimistic { threads },
+                    w.as_ref(),
+                );
+                let ctx = format!("adv:{name}/{policy}/threads={threads}");
+                assert_bit_identical(&one, &many, &ctx);
+                assert_eq!(one.optimistic, many.optimistic, "{ctx}: window counters");
+            }
+            invalidations += one.optimistic.validation_failures;
+            aborts += one.optimistic.sync_aborts + one.optimistic.stuck_aborts;
+            committed += one.optimistic.committed;
+        }
+    }
+    assert!(invalidations > 0, "storms invalidated read sets");
+    assert!(aborts > 0, "storms aborted whole windows");
+    assert!(committed > 0, "contention still let some windows commit");
 }
 
 /// Finite-cache mode adds capacity evictions and speculative
