@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use specdsm_core::{History, HistoryKey, PatternTable, SharingPredictor, Symbol, Vmsp};
-use specdsm_types::{BlockAddr, DirMsg, ProcId, ReaderSet, ReqKind};
+use specdsm_types::{BlockAddr, DirMsg, ProcId, ReaderSet, ReaderSetInterner, ReqKind};
 
 /// A pattern table with `entries` distinct depth-2 windows, each
 /// predicting a two-reader vector, plus the windows' keys.
@@ -19,6 +19,7 @@ fn populated_table(entries: usize) -> (PatternTable, Vec<HistoryKey>) {
         entries <= 64 * 64,
         "distinct in-range (writer, reader) pairs"
     );
+    let mut sets = ReaderSetInterner::new();
     let mut table = PatternTable::new();
     let mut keys = Vec::with_capacity(entries);
     // Distinct (writer, reader) pairs give distinct windows; both ids
@@ -29,10 +30,8 @@ fn populated_table(entries: usize) -> (PatternTable, Vec<HistoryKey>) {
         let mut h = History::new(2);
         h.push(writer);
         h.push(reader);
-        table.learn(
-            &h,
-            Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)])),
-        );
+        let vec = sets.intern_owned(ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+        table.learn(&h, Symbol::ReadVec(vec));
         keys.push(h.key());
     }
     assert_eq!(table.len(), entries, "windows must be distinct");
@@ -68,6 +67,7 @@ fn bench_feedback_scaling(c: &mut Criterion) {
             &entries,
             |b, _| {
                 let mut t = table.clone();
+                let mut sets = ReaderSetInterner::new();
                 b.iter(|| {
                     let mut changed = 0u64;
                     for &k in &keys {
@@ -75,7 +75,7 @@ fn bench_feedback_scaling(c: &mut Criterion) {
                         // call takes the full lookup + vector-check
                         // path without mutating the table (keeps
                         // iterations comparable).
-                        changed += u64::from(t.prune_reader(k, ProcId(9)));
+                        changed += u64::from(t.prune_reader(&mut sets, k, ProcId(9)));
                     }
                     changed
                 });

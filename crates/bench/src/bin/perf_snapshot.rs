@@ -5,7 +5,9 @@
 //!
 //! * **Predictors** (`BENCH_predictors.json`): predictor-throughput
 //!   micro-measurements (the same stream shape as
-//!   `benches/predictors.rs`) plus the speculation-feedback path.
+//!   `benches/predictors.rs`), the speculation-feedback path, and the
+//!   VMSP storage footprint at 16 and 256 processors (spill bytes and
+//!   hash-cons dedup ratio for wide reader vectors).
 //! * **Protocol** (`BENCH_protocol.json`): end-to-end whole-machine
 //!   simulations of the paper's application suite (default scale, 16
 //!   nodes) under all three system policies — wall time, simulation
@@ -25,11 +27,13 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use specdsm_bench::producer_consumer_stream;
-use specdsm_core::{History, PatternTable, PredictorKind, Symbol};
+use specdsm_core::{History, PatternTable, PredictorKind, SharingPredictor, Symbol, Vmsp};
 use specdsm_protocol::{
     EngineConfig, FaultStats, OptimisticStats, SpecPolicy, System, SystemConfig,
 };
-use specdsm_types::{MachineConfig, ProcId, ReaderSet, ReqKind};
+use specdsm_types::{
+    BlockAddr, DirMsg, MachineConfig, ProcId, ReaderSet, ReaderSetInterner, ReqKind,
+};
 use specdsm_workloads::{fault_plan, AppId, Scale};
 
 /// Times `routine` adaptively: warm up, then run batches until the
@@ -101,6 +105,7 @@ fn observe_rows(window: Duration) -> Vec<ObserveRow> {
 
 fn feedback_rows(window: Duration) -> Vec<FeedbackRow> {
     let mut rows = Vec::new();
+    let mut sets = ReaderSetInterner::new();
     for entries in [64usize, 1024, 4096] {
         let mut table = PatternTable::new();
         let mut keys = Vec::with_capacity(entries);
@@ -108,10 +113,8 @@ fn feedback_rows(window: Duration) -> Vec<FeedbackRow> {
             let mut h = History::new(2);
             h.push(Symbol::Req(ReqKind::Upgrade, ProcId(i % 64)));
             h.push(Symbol::Req(ReqKind::Read, ProcId(i / 64)));
-            table.learn(
-                &h,
-                Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)])),
-            );
+            let vec = sets.intern_owned(ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+            table.learn(&h, Symbol::ReadVec(vec));
             keys.push(h.key());
         }
         assert_eq!(table.len(), entries);
@@ -135,7 +138,7 @@ fn feedback_rows(window: Duration) -> Vec<FeedbackRow> {
         let ns = measure(
             || {
                 keys.iter()
-                    .map(|&k| u64::from(pruned.prune_reader(k, ProcId(9))))
+                    .map(|&k| u64::from(pruned.prune_reader(&mut sets, k, ProcId(9))))
                     .sum()
             },
             window,
@@ -147,6 +150,57 @@ fn feedback_rows(window: Duration) -> Vec<FeedbackRow> {
         });
     }
     rows
+}
+
+struct StorageRow {
+    num_procs: usize,
+    blocks: u64,
+    entries: u64,
+    sw_bytes_total: u64,
+    spill_bytes: u64,
+    spill_unique: u64,
+    spill_refs: u64,
+    dedup_ratio: f64,
+}
+
+/// VMSP software-storage footprint at 16 and 256 processors after the
+/// same training run (256 blocks, four read phases each, one stable
+/// wide read vector). On the 16-processor machine every read vector
+/// fits the inline 64-bit word, so `spill_bytes` is 0 and the dedup
+/// ratio is 1. At 256 processors the identical sharing pattern spills,
+/// and the hash-cons arena stores the vector **once** no matter how
+/// many pattern-table entries reference it — `dedup_ratio` is
+/// references per unique spilled set, and `sw_bytes_total` charges the
+/// arena words (a cost the report used to omit entirely).
+fn storage_rows() -> Vec<StorageRow> {
+    [16usize, 256]
+        .iter()
+        .map(|&procs| {
+            let mut vmsp = Vmsp::new(2, procs);
+            let readers = [1usize, 2, procs / 2, procs - 1];
+            for bi in 0..256u64 {
+                let b = BlockAddr(bi);
+                for _ in 0..4 {
+                    vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+                    for &p in &readers {
+                        vmsp.observe(b, DirMsg::read(ProcId(p)));
+                    }
+                }
+                vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+            }
+            let rep = vmsp.storage();
+            StorageRow {
+                num_procs: procs,
+                blocks: rep.blocks,
+                entries: rep.entries,
+                sw_bytes_total: rep.sw_bytes_total(),
+                spill_bytes: rep.spill_bytes,
+                spill_unique: rep.spill_unique,
+                spill_refs: rep.spill_refs,
+                dedup_ratio: rep.dedup_ratio(),
+            }
+        })
+        .collect()
 }
 
 struct ProtoRow {
@@ -543,7 +597,7 @@ fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow], faults: &[Fau
     out
 }
 
-fn render_json(observe: &[ObserveRow], feedback: &[FeedbackRow]) -> String {
+fn render_json(observe: &[ObserveRow], feedback: &[FeedbackRow], storage: &[StorageRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"predictor_perf_snapshot\",\n");
@@ -566,6 +620,29 @@ fn render_json(observe: &[ObserveRow], feedback: &[FeedbackRow]) -> String {
             out,
             "    {{\"op\": \"{}\", \"table_entries\": {}, \"ns_per_op\": {:.2}}}{comma}",
             r.op, r.table_entries, r.ns_per_op
+        );
+    }
+    out.push_str("  ],\n");
+    // VMSP storage after an identical training run at two machine
+    // widths. `sw_bytes_total` includes the spilled (>64-proc) reader
+    // vectors in the hash-cons arena; `dedup_ratio` is spilled-vector
+    // references per unique arena entry (1.0 when nothing spills).
+    out.push_str("  \"storage\": [\n");
+    for (i, r) in storage.iter().enumerate() {
+        let comma = if i + 1 == storage.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"num_procs\": {}, \"blocks\": {}, \"entries\": {}, \
+             \"sw_bytes_total\": {}, \"spill_bytes\": {}, \"spill_unique\": {}, \
+             \"spill_refs\": {}, \"dedup_ratio\": {:.2}}}{comma}",
+            r.num_procs,
+            r.blocks,
+            r.entries,
+            r.sw_bytes_total,
+            r.spill_bytes,
+            r.spill_unique,
+            r.spill_refs,
+            r.dedup_ratio
         );
     }
     out.push_str("  ]\n");
@@ -611,8 +688,10 @@ fn main() {
     let observe = observe_rows(window);
     eprintln!("measuring feedback paths (6 configurations)...");
     let feedback = feedback_rows(window);
+    eprintln!("measuring VMSP storage footprint (16 and 256 procs)...");
+    let storage = storage_rows();
 
-    let json = render_json(&observe, &feedback);
+    let json = render_json(&observe, &feedback, &storage);
     print!("{json}");
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");

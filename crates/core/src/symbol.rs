@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use specdsm_types::{AckKind, DirMsg, ProcId, ReaderSet, ReqKind};
+use specdsm_types::{AckKind, DirMsg, ProcId, ReaderSet, ReqKind, SetId};
 
 /// One history/pattern-table symbol.
 ///
@@ -12,14 +12,22 @@ use specdsm_types::{AckKind, DirMsg, ProcId, ReaderSet, ReqKind};
 /// * MSP uses only [`Symbol::Req`].
 /// * VMSP uses [`Symbol::Req`] for writes/upgrades and
 ///   [`Symbol::ReadVec`] for whole read sequences.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Read vectors are carried as interned [`SetId`]s, so a symbol is
+/// `Copy` and symbol equality/hashing is O(1) even on wide machines
+/// whose reader sets spill past 64 processors. The id's cached digest
+/// is exactly [`ReaderSet::mix64`], so pattern keys are unchanged from
+/// the pre-interning representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Symbol {
     /// A request message `<kind, proc>`.
     Req(ReqKind, ProcId),
     /// An acknowledgement message `<kind, proc>` (Cosmos only).
     Ack(AckKind, ProcId),
-    /// A read sequence folded into a reader bit-vector (VMSP only).
-    ReadVec(ReaderSet),
+    /// A read sequence folded into an interned reader bit-vector
+    /// (VMSP only). The id is minted by the owning predictor's
+    /// `ReaderSetInterner`.
+    ReadVec(SetId),
 }
 
 impl Symbol {
@@ -42,11 +50,11 @@ impl Symbol {
         }
     }
 
-    /// The reader vector if this symbol is a read sequence.
+    /// The interned reader vector if this symbol is a read sequence.
     #[must_use]
-    pub fn read_vec(&self) -> Option<ReaderSet> {
-        match self {
-            Symbol::ReadVec(v) => Some(v.clone()),
+    pub fn read_vec(&self) -> Option<SetId> {
+        match *self {
+            Symbol::ReadVec(v) => Some(v),
             _ => None,
         }
     }
@@ -58,10 +66,11 @@ impl Symbol {
     /// loses no reader bits (a packed single-word encoding would have
     /// to truncate the vector to make room for the tag — fatal now
     /// that the result indexes the pattern tables). For read vectors
-    /// the payload is [`ReaderSet::mix64`]: identical to the raw bit
-    /// word for machines up to 64 processors (so pattern keys are
-    /// unchanged by the hybrid-bitset rework), a whole-vector fold for
-    /// spilled sets. The additive constant keeps the all-zero pair
+    /// the payload is [`SetId::key`] — the interned set's cached
+    /// [`ReaderSet::mix64`] digest: identical to the raw bit word for
+    /// machines up to 64 processors (so pattern keys are unchanged by
+    /// the hybrid-bitset and interning reworks), a whole-vector fold
+    /// for spilled sets. The additive constant keeps the all-zero pair
     /// (`<Read, P0>`) away from the mix function's zero fixed point.
     #[must_use]
     pub(crate) fn mixed(&self) -> u64 {
@@ -81,7 +90,7 @@ impl Symbol {
                 };
                 (k, p.0 as u64)
             }
-            Symbol::ReadVec(v) => (5, v.mix64()),
+            Symbol::ReadVec(v) => (5, v.key()),
         };
         splitmix64(splitmix64(tag.wrapping_add(0x9E37_79B9_7F4A_7C15)).wrapping_add(payload))
     }
@@ -99,7 +108,13 @@ impl fmt::Display for Symbol {
         match self {
             Symbol::Req(kind, p) => write!(f, "<{kind}, {p}>"),
             Symbol::Ack(kind, p) => write!(f, "<{kind}, {p}>"),
-            Symbol::ReadVec(v) => write!(f, "<Read, {v}>"),
+            // An inline id is the raw low word, so the paper's set
+            // notation can be reconstructed without an interner; a
+            // spilled id is shown by arena index and digest.
+            Symbol::ReadVec(v) => match v.index() {
+                None => write!(f, "<Read, {}>", ReaderSet::from_bits(v.key())),
+                Some(idx) => write!(f, "<Read, #{idx}:{:016x}>", v.key()),
+            },
         }
     }
 }
@@ -141,7 +156,7 @@ impl fmt::Display for Symbol {
 /// let w = Symbol::Req(ReqKind::Write, ProcId(1));
 /// assert_eq!(
 ///     HistoryKey::EMPTY.push(&h[0]).push(&w),
-///     HistoryKey::of(&[h[0].clone(), w]),
+///     HistoryKey::of(&[h[0], w]),
 /// );
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -199,6 +214,14 @@ impl HistoryKey {
 mod tests {
     use super::*;
 
+    /// An inline read-vector symbol over processors `P0..P63` — the
+    /// complete id needs no interner below the spill boundary.
+    fn read_vec_of(procs: &[usize]) -> Symbol {
+        let set: ReaderSet = procs.iter().map(|&i| ProcId(i)).collect();
+        assert!(!set.has_spill(), "test helper is for inline sets");
+        Symbol::ReadVec(SetId::from_bits(set.bits()))
+    }
+
     #[test]
     fn from_msg_round_trip() {
         let m = DirMsg::read(ProcId(2));
@@ -212,8 +235,8 @@ mod tests {
         let s = Symbol::Req(ReqKind::Write, ProcId(4));
         assert_eq!(s.request(), Some((ReqKind::Write, ProcId(4))));
         assert_eq!(s.read_vec(), None);
-        let v = Symbol::ReadVec(ReaderSet::single(ProcId(1)));
-        assert_eq!(v.read_vec(), Some(ReaderSet::single(ProcId(1))));
+        let v = read_vec_of(&[1]);
+        assert_eq!(v.read_vec(), Some(SetId::from_bits(1 << 1)));
         assert_eq!(v.request(), None);
     }
 
@@ -225,7 +248,7 @@ mod tests {
             Symbol::Req(ReqKind::Upgrade, ProcId(1)),
             Symbol::Ack(AckKind::InvAck, ProcId(1)),
             Symbol::Ack(AckKind::Writeback, ProcId(1)),
-            Symbol::ReadVec(ReaderSet::single(ProcId(1))),
+            read_vec_of(&[1]),
             Symbol::Req(ReqKind::Read, ProcId(2)),
         ];
         for (i, a) in symbols.iter().enumerate() {
@@ -242,10 +265,10 @@ mod tests {
         // The full 64-bit reader vector must reach the hash: vectors
         // differing only in the top processors (P56..P63) are distinct
         // symbols and must stay distinct in key space.
-        let hi_a = Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(60)]));
-        let hi_b = Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(61)]));
-        let hi_c = Symbol::ReadVec(ReaderSet::single(ProcId(63)));
-        let lo = Symbol::ReadVec(ReaderSet::single(ProcId(1)));
+        let hi_a = read_vec_of(&[1, 60]);
+        let hi_b = read_vec_of(&[1, 61]);
+        let hi_c = read_vec_of(&[63]);
+        let lo = read_vec_of(&[1]);
         assert_ne!(hi_a.mixed(), hi_b.mixed());
         assert_ne!(hi_c.mixed(), lo.mixed());
         assert_ne!(
@@ -259,9 +282,7 @@ mod tests {
     fn history_key_distinguishes_order() {
         let a = Symbol::Req(ReqKind::Read, ProcId(1));
         let b = Symbol::Req(ReqKind::Read, ProcId(2));
-        let of = |syms: &[&Symbol]| {
-            HistoryKey::of(&syms.iter().map(|s| (*s).clone()).collect::<Vec<_>>())
-        };
+        let of = |syms: &[&Symbol]| HistoryKey::of(&syms.iter().map(|s| **s).collect::<Vec<_>>());
         assert_ne!(of(&[&a, &b]), of(&[&b, &a]));
         assert_ne!(of(&[&a]), of(&[&a, &a]));
     }
@@ -275,7 +296,7 @@ mod tests {
             Symbol::Req(ReqKind::Read, ProcId(1)),
             Symbol::Req(ReqKind::Read, ProcId(2)),
             Symbol::Ack(AckKind::InvAck, ProcId(1)),
-            Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)])),
+            read_vec_of(&[1, 2]),
             Symbol::Req(ReqKind::Write, ProcId(0)),
         ];
         for depth in 1..=4usize {
@@ -284,7 +305,7 @@ mod tests {
             let mut key = HistoryKey::of(&window);
             for incoming in &syms[depth..] {
                 let outgoing = window.remove(0);
-                window.push(incoming.clone());
+                window.push(*incoming);
                 key = key.shift(&outgoing, incoming, pow);
                 assert_eq!(key, HistoryKey::of(&window), "depth {depth}");
             }
@@ -298,7 +319,7 @@ mod tests {
             Symbol::Req(ReqKind::Read, ProcId(1)),
             Symbol::Req(ReqKind::Write, ProcId(1)),
             Symbol::Ack(AckKind::Writeback, ProcId(2)),
-            Symbol::ReadVec(ReaderSet::single(ProcId(3))),
+            read_vec_of(&[3]),
         ];
         for (i, a) in symbols.iter().enumerate() {
             assert_ne!(a.mixed(), 0, "{a}");
@@ -314,7 +335,15 @@ mod tests {
             Symbol::Req(ReqKind::Upgrade, ProcId(3)).to_string(),
             "<Upgrade, P3>"
         );
-        let v = Symbol::ReadVec(ReaderSet::from_iter([ProcId(1), ProcId(2)]));
+        let v = read_vec_of(&[1, 2]);
         assert_eq!(v.to_string(), "<Read, {P1,P2}>");
+        // Spilled vectors can't be reconstructed from the id alone;
+        // they display the arena handle instead.
+        let mut sets = specdsm_types::ReaderSetInterner::new();
+        let wide = sets.intern(&ReaderSet::from_iter([ProcId(1), ProcId(100)]));
+        assert_eq!(
+            Symbol::ReadVec(wide).to_string(),
+            format!("<Read, #0:{:016x}>", wide.key())
+        );
     }
 }

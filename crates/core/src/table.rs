@@ -104,7 +104,7 @@ impl PatternTable {
             return None;
         }
         keyed.entry.uses += 1;
-        Some(keyed.entry.prediction.clone())
+        Some(keyed.entry.prediction)
     }
 
     /// Looks up the entry for `history`'s current window without
@@ -140,7 +140,7 @@ impl PatternTable {
     pub fn predict_and_learn(&mut self, history: &History, sym: &Symbol) -> Option<Symbol> {
         let entry = self.resident_or_insert(history, sym)?;
         entry.uses += 1;
-        let predicted = std::mem::replace(&mut entry.prediction, sym.clone());
+        let predicted = std::mem::replace(&mut entry.prediction, *sym);
         Some(predicted)
     }
 
@@ -165,14 +165,14 @@ impl PatternTable {
                     Some(&mut keyed.entry)
                 } else {
                     keyed.window = history.window_boxed();
-                    keyed.entry = PatternEntry::new(successor.clone());
+                    keyed.entry = PatternEntry::new(*successor);
                     None
                 }
             }
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(KeyedEntry {
                     window: history.window_boxed(),
-                    entry: PatternEntry::new(successor.clone()),
+                    entry: PatternEntry::new(*successor),
                 });
                 None
             }
@@ -215,19 +215,29 @@ impl PatternTable {
     /// Removes a reader from a vector prediction (speculation
     /// verification: "removes mispredicted request sequences from the
     /// pattern tables", paper §4.2). Returns `true` if an entry
-    /// changed. O(1): the ticket key indexes the entry directly.
-    pub fn prune_reader(&mut self, key: HistoryKey, reader: specdsm_types::ProcId) -> bool {
+    /// changed. O(1) lookup: the ticket key indexes the entry
+    /// directly; `sets` must be the interner that minted the entry's
+    /// read-vector ids (the pruned vector is re-interned through it).
+    pub fn prune_reader(
+        &mut self,
+        sets: &mut specdsm_types::ReaderSetInterner,
+        key: HistoryKey,
+        reader: specdsm_types::ProcId,
+    ) -> bool {
         let Some(keyed) = self.entries.get_mut(&key) else {
             return false;
         };
         let Symbol::ReadVec(v) = &mut keyed.entry.prediction else {
             return false;
         };
-        if !v.remove(reader) {
+        let pruned = sets.remove(*v, reader);
+        if pruned == *v {
             return false;
         }
-        if v.is_empty() {
+        if pruned.is_empty() {
             self.entries.remove(&key);
+        } else {
+            *v = pruned;
         }
         true
     }
@@ -358,14 +368,14 @@ impl History {
     /// when a pattern entry takes ownership of its window.
     #[must_use]
     pub fn window_boxed(&self) -> Box<[Symbol]> {
-        self.window().cloned().collect()
+        self.window().copied().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use specdsm_types::{ProcId, ReaderSet, ReqKind};
+    use specdsm_types::{ProcId, ReaderSet, ReaderSetInterner, ReqKind, SetId};
 
     fn req(kind: ReqKind, p: usize) -> Symbol {
         Symbol::Req(kind, ProcId(p))
@@ -375,7 +385,7 @@ mod tests {
     fn history_of(syms: &[Symbol]) -> History {
         let mut h = History::new(syms.len());
         for s in syms {
-            h.push(s.clone());
+            h.push(*s);
         }
         h
     }
@@ -408,8 +418,8 @@ mod tests {
             let mut h = History::new(depth);
             let mut reference: Vec<Symbol> = Vec::new();
             for s in &stream {
-                h.push(s.clone());
-                reference.push(s.clone());
+                h.push(*s);
+                reference.push(*s);
                 if reference.len() > depth {
                     reference.remove(0);
                 }
@@ -460,29 +470,50 @@ mod tests {
 
     #[test]
     fn prune_reader_shrinks_vector() {
+        let mut sets = ReaderSetInterner::new();
         let mut t = PatternTable::new();
         let h = history_of(&[req(ReqKind::Write, 3)]);
-        let vec = ReaderSet::from_iter([ProcId(1), ProcId(2)]);
+        let vec = sets.intern(&ReaderSet::from_iter([ProcId(1), ProcId(2)]));
         t.learn(&h, Symbol::ReadVec(vec));
         let key = h.key();
-        assert!(t.prune_reader(key, ProcId(2)));
+        assert!(t.prune_reader(&mut sets, key, ProcId(2)));
         assert_eq!(
             t.peek(&h).unwrap().prediction,
-            Symbol::ReadVec(ReaderSet::single(ProcId(1)))
+            Symbol::ReadVec(SetId::from_bits(1 << 1))
         );
         // Pruning the last reader removes the entry entirely.
-        assert!(t.prune_reader(key, ProcId(1)));
+        assert!(t.prune_reader(&mut sets, key, ProcId(1)));
         assert!(t.is_empty());
         // Pruning a missing entry is a no-op.
-        assert!(!t.prune_reader(key, ProcId(1)));
+        assert!(!t.prune_reader(&mut sets, key, ProcId(1)));
+    }
+
+    #[test]
+    fn prune_reader_shrinks_spilled_vector() {
+        // The same feedback path on a wide-machine vector: the pruned
+        // set is re-interned and the stored id swaps — no in-place
+        // mutation of arena state.
+        let mut sets = ReaderSetInterner::new();
+        let mut t = PatternTable::new();
+        let h = history_of(&[req(ReqKind::Write, 3)]);
+        let vec = sets.intern(&ReaderSet::from_iter([ProcId(1), ProcId(200)]));
+        t.learn(&h, Symbol::ReadVec(vec));
+        assert!(t.prune_reader(&mut sets, h.key(), ProcId(1)));
+        let Some(Symbol::ReadVec(left)) = t.peek(&h).map(|e| e.prediction) else {
+            panic!("entry survived with one reader");
+        };
+        assert_eq!(sets.resolve(left), ReaderSet::single(ProcId(200)));
+        assert!(t.prune_reader(&mut sets, h.key(), ProcId(200)));
+        assert!(t.is_empty());
     }
 
     #[test]
     fn prune_reader_ignores_non_vector_entries() {
+        let mut sets = ReaderSetInterner::new();
         let mut t = PatternTable::new();
         let h = history_of(&[req(ReqKind::Read, 1)]);
         t.learn(&h, req(ReqKind::Write, 2));
-        assert!(!t.prune_reader(h.key(), ProcId(2)));
+        assert!(!t.prune_reader(&mut sets, h.key(), ProcId(2)));
         assert_eq!(t.len(), 1);
     }
 
@@ -510,22 +541,22 @@ mod tests {
         let mut split = PatternTable::new();
         let mut h = History::new(2);
         // Warm the history, then drive both tables in lockstep.
-        h.push(stream[0].clone());
-        h.push(stream[1].clone());
+        h.push(stream[0]);
+        h.push(stream[1]);
         for _ in 0..5 {
             for sym in &stream[2..] {
                 let a = fused.predict_and_learn(&h, sym);
                 let b = split.predict(&h);
-                split.learn(&h, sym.clone());
+                split.learn(&h, *sym);
                 assert_eq!(a, b);
-                h.push(sym.clone());
+                h.push(*sym);
             }
         }
         assert_eq!(fused.len(), split.len());
         for (w, e) in fused.iter() {
             let mut probe = History::new(w.len());
             for s in w {
-                probe.push(s.clone());
+                probe.push(*s);
             }
             assert_eq!(split.peek(&probe), Some(e));
         }

@@ -104,17 +104,17 @@ mod tests {
         let seq = [upgrade(3), read(1), read(2)];
         // First pass: warm-up + learning, no correct predictions.
         for s in &seq {
-            assert!(!t.observe_symbol(b, s.clone()).is_correct());
+            assert!(!t.observe_symbol(b, *s).is_correct());
         }
         // Second pass: the loop-closing transition (read(2) -> upgrade)
         // is seen for the first time; everything else predicts.
-        assert!(!t.observe_symbol(b, seq[0].clone()).is_predicted());
-        assert!(t.observe_symbol(b, seq[1].clone()).is_correct());
-        assert!(t.observe_symbol(b, seq[2].clone()).is_correct());
+        assert!(!t.observe_symbol(b, seq[0]).is_predicted());
+        assert!(t.observe_symbol(b, seq[1]).is_correct());
+        assert!(t.observe_symbol(b, seq[2]).is_correct());
         // Third pass onward: every symbol predicted correctly.
         for _ in 0..3 {
             for s in &seq {
-                assert!(t.observe_symbol(b, s.clone()).is_correct(), "symbol {s}");
+                assert!(t.observe_symbol(b, *s).is_correct(), "symbol {s}");
             }
         }
     }
@@ -131,7 +131,7 @@ mod tests {
             let mut wrong = 0;
             for _ in 0..50 {
                 for s in phase_a.iter().chain(&phase_b) {
-                    let obs = t.observe_symbol(b, s.clone());
+                    let obs = t.observe_symbol(b, *s);
                     if obs.is_predicted() && !obs.is_correct() {
                         wrong += 1;
                     }

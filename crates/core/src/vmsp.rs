@@ -19,7 +19,9 @@
 //! proc)`, and the paper's machines have 16–64 nodes), replacing the
 //! speculation engine's former `(block, proc)`-keyed ticket map.
 
-use specdsm_types::{BlockAddr, DirMsg, HomeGeometry, NodeId, ProcId, ReaderSet, ReqKind};
+use specdsm_types::{
+    BlockAddr, DirMsg, HomeGeometry, NodeId, ProcId, ReaderSet, ReaderSetInterner, ReqKind,
+};
 
 use crate::predictor::{PredictorKind, SharingPredictor};
 use crate::stats::{Observation, PredictorStats};
@@ -84,6 +86,11 @@ pub struct Vmsp {
     num_procs: usize,
     geom: HomeGeometry,
     homes: Vec<HomeArena>,
+    /// Hash-cons arena for the spilled (>64-processor) read vectors
+    /// this predictor retains in its pattern tables. Owned per
+    /// predictor instance, so clones (engine snapshots, differential
+    /// references) stay self-contained and `Send`.
+    sets: ReaderSetInterner,
     stats: PredictorStats,
 }
 
@@ -240,6 +247,7 @@ impl Vmsp {
             num_procs,
             geom,
             homes: vec![HomeArena::default(); geom.num_nodes()],
+            sets: ReaderSetInterner::new(),
             stats: PredictorStats::default(),
         }
     }
@@ -339,7 +347,18 @@ impl Vmsp {
         let Some((kind, p)) = msg.request() else {
             return Observation::Ignored;
         };
-        let b = self.at_mut(slot);
+        // Field-split borrow: the record lives in `homes`, the read
+        // vectors in `sets` — both are needed mutably in one pass
+        // (this inlines `at_mut`, activity marking included).
+        let Vmsp {
+            homes, sets, stats, ..
+        } = self;
+        let arena = &mut homes[slot.home as usize];
+        let b = &mut arena.table[slot.idx as usize];
+        if !b.active {
+            b.active = true;
+            arena.active += 1;
+        }
         let obs = match kind {
             ReqKind::Read => {
                 // Each read is checked against the vector predicted to
@@ -348,7 +367,7 @@ impl Vmsp {
                 let obs = if b.history.is_full() {
                     match b.table.predict(&b.history) {
                         Some(Symbol::ReadVec(v)) => Observation::Predicted {
-                            correct: v.contains(p),
+                            correct: sets.contains(v, p),
                         },
                         Some(_) => Observation::Predicted { correct: false },
                         None => Observation::NoPrediction,
@@ -361,9 +380,11 @@ impl Vmsp {
             }
             ReqKind::Write | ReqKind::Upgrade => {
                 // A write/upgrade closes any open read phase: the
-                // accumulated vector becomes one history symbol.
+                // accumulated vector is interned (one arena id however
+                // often this pattern recurs) and becomes one history
+                // symbol.
                 if !b.open.is_empty() {
-                    let vec = Symbol::ReadVec(std::mem::take(&mut b.open));
+                    let vec = Symbol::ReadVec(sets.intern_owned(std::mem::take(&mut b.open)));
                     Self::commit(b, vec);
                 }
                 let sym = Symbol::Req(kind, p);
@@ -383,14 +404,14 @@ impl Vmsp {
                 obs
             }
         };
-        self.stats.record(obs);
+        stats.record(obs);
         obs
     }
 
     /// Slot-addressed form of [`Vmsp::predicted_readers`].
     #[must_use]
     pub fn predicted_readers_at(&self, slot: VSlot) -> Option<(ReaderSet, SpecTicket)> {
-        Self::predicted_readers_of(self.at(slot))
+        self.predicted_readers_of(self.at(slot))
     }
 
     /// Slot-addressed form of [`Vmsp::speculate_readers`].
@@ -400,7 +421,10 @@ impl Vmsp {
 
     /// Slot-addressed form of [`Vmsp::prune_reader`].
     pub fn prune_reader_at(&mut self, slot: VSlot, ticket: SpecTicket, reader: ProcId) -> bool {
-        self.at_mut_raw(slot).table.prune_reader(ticket.key, reader)
+        let Vmsp { homes, sets, .. } = self;
+        homes[slot.home as usize].table[slot.idx as usize]
+            .table
+            .prune_reader(sets, ticket.key, reader)
     }
 
     /// Slot-addressed form of [`Vmsp::swi_allowed`].
@@ -471,16 +495,19 @@ impl Vmsp {
     /// predicted successor is not a read vector.
     #[must_use]
     pub fn predicted_readers(&self, block: BlockAddr) -> Option<(ReaderSet, SpecTicket)> {
-        Self::predicted_readers_of(self.lookup(block)?)
+        self.predicted_readers_of(self.lookup(block)?)
     }
 
-    fn predicted_readers_of(b: &VBlock) -> Option<(ReaderSet, SpecTicket)> {
+    fn predicted_readers_of(&self, b: &VBlock) -> Option<(ReaderSet, SpecTicket)> {
         if !b.history.is_full() {
             return None;
         }
-        match &b.table.peek(&b.history)?.prediction {
+        match b.table.peek(&b.history)?.prediction {
+            // The speculation engine fans the prediction out to the
+            // network, so this is a genuinely transient copy — the
+            // persistent state keeps only the interned id.
             Symbol::ReadVec(v) => Some((
-                v.clone(),
+                self.sets.resolve(v),
                 SpecTicket {
                     key: b.history.key(),
                 },
@@ -503,8 +530,20 @@ impl Vmsp {
     /// prediction ("removes mispredicted request sequences", §4.2).
     /// Returns `true` if an entry changed.
     pub fn prune_reader(&mut self, block: BlockAddr, ticket: SpecTicket, reader: ProcId) -> bool {
-        match self.lookup_mut(block) {
-            Some(b) => b.table.prune_reader(ticket.key, reader),
+        // Field-split borrow of `lookup_mut`'s logic: the pruned
+        // vector re-interns through `sets` while the entry is borrowed
+        // from `homes`.
+        let Vmsp {
+            homes, sets, geom, ..
+        } = self;
+        let home = geom.home_of(block);
+        let idx = geom.local_index(block);
+        match homes
+            .get_mut(home.0)
+            .and_then(|h| h.table.get_mut(idx))
+            .filter(|b| b.active)
+        {
+            Some(b) => b.table.prune_reader(sets, ticket.key, reader),
             None => false,
         }
     }
@@ -548,7 +587,7 @@ impl Vmsp {
     /// Commits a symbol: last-occurrence learn + history shift.
     fn commit(b: &mut VBlock, sym: Symbol) {
         if b.history.is_full() {
-            b.table.learn(&b.history, sym.clone());
+            b.table.learn(&b.history, sym);
         }
         b.history.push(sym);
     }
@@ -568,10 +607,19 @@ impl SharingPredictor for Vmsp {
         let mut slots = 0u64;
         let mut blocks = 0u64;
         let mut entries = 0u64;
+        // Open (still-accumulating) vectors are the one place a wide
+        // set still lives outside the arena; their heap words are
+        // charged per copy.
+        let mut open_spill = 0u64;
         for home in &self.homes {
             slots += home.table.len() as u64;
             blocks += home.active as u64;
             entries += home.table.iter().map(|b| b.table.len() as u64).sum::<u64>();
+            open_spill += home
+                .table
+                .iter()
+                .map(|b| b.open.heap_bytes() as u64)
+                .sum::<u64>();
         }
         StorageReport {
             model: StorageModel {
@@ -582,6 +630,9 @@ impl SharingPredictor for Vmsp {
             blocks,
             slots,
             entries,
+            spill_bytes: self.sets.spill_bytes() + open_spill,
+            spill_unique: self.sets.unique_spilled(),
+            spill_refs: self.sets.spill_refs(),
         }
     }
 
@@ -877,6 +928,40 @@ mod tests {
             vmsp.close_ticket(slot, ProcId(20)),
             Some((ticket, SpecTrigger::Fr))
         );
+    }
+
+    #[test]
+    fn wide_machine_storage_charges_spill_bytes() {
+        // Regression for the >64-proc accounting bug: `sw_bytes_total`
+        // used to ignore spilled reader-set heap words entirely, so a
+        // 256-processor report was identical to what an inline-only
+        // machine with the same slot/entry counts would show.
+        let mut vmsp = Vmsp::new(1, 256);
+        let readers = [1usize, 70, 130, 200, 255];
+        for bi in 0..8u64 {
+            let b = BlockAddr(bi);
+            for _ in 0..4 {
+                vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+                for r in readers {
+                    vmsp.observe(b, DirMsg::read(ProcId(r)));
+                }
+            }
+            // Close the final read phase so the last vector commits.
+            vmsp.observe(b, DirMsg::upgrade(ProcId(3)));
+        }
+        let rep = vmsp.storage();
+        let inline_only =
+            rep.slots * rep.model.sw_history_bytes() + rep.entries * rep.model.sw_entry_bytes();
+        assert!(rep.spill_bytes > 0, "wide vectors must be charged");
+        assert!(
+            rep.sw_bytes_total() > inline_only,
+            "the report must grow past the inline-only figure"
+        );
+        // Every block re-learns the same wide pattern, so the arena
+        // holds one canonical copy serving many retained references.
+        assert_eq!(rep.spill_unique, 1);
+        assert!(rep.spill_refs > rep.spill_unique);
+        assert!(rep.dedup_ratio() > 1.0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 
 use specdsm_sim::Cycle;
-use specdsm_types::{BlockAddr, ProcId, ReaderSet};
+use specdsm_types::{BlockAddr, ProcId, ReaderSet, ReaderSetInterner};
 
 use crate::directory::DirState;
 use crate::msg::{Msg, MsgKind};
@@ -130,15 +130,16 @@ impl Auditor {
                 let grantee = msg.dst.proc();
                 let sh = self.shadows.entry(block).or_default();
                 let owner = sh.owner;
-                let mut others = sh.readers.clone();
+                // The shadow's reader set can be machine-wide; finding
+                // a foreign sharer needs no copy of its spill words.
+                let foreign_reader = sh.readers.iter().any(|r| r != grantee);
                 if owner.is_some() {
                     self.fail(
                         block,
                         "second writable copy granted (single-writer violated)",
                     );
                 }
-                others.remove(grantee);
-                if !others.is_empty() {
+                if foreign_reader {
                     self.fail(
                         block,
                         "write granted while read-only copies are outstanding elsewhere",
@@ -239,8 +240,14 @@ impl Auditor {
     }
 
     /// Cross-checks the directory's published state for `block` against
-    /// the shadow (called after directory-bound deliveries).
-    pub(crate) fn check_dir_state(&mut self, block: BlockAddr, state: &DirState) {
+    /// the shadow (called after directory-bound deliveries). `sets` is
+    /// the shard's interner — `Shared` states carry an interned id.
+    pub(crate) fn check_dir_state(
+        &mut self,
+        block: BlockAddr,
+        state: DirState,
+        sets: &ReaderSetInterner,
+    ) {
         let Some(sh) = self.shadows.get(&block) else {
             return;
         };
@@ -257,12 +264,12 @@ impl Auditor {
                         "directory shared while a writable copy is outstanding",
                     );
                 }
-                if !listed.is_superset(&sh.readers) {
+                if !sets.is_superset_of(listed, &sh.readers) {
                     self.fail(block, "directory reader set misses an actual sharer");
                 }
             }
             DirState::Exclusive(owner) => {
-                if sh.owner != Some(*owner) {
+                if sh.owner != Some(owner) {
                     self.fail(
                         block,
                         "directory owner disagrees with the granted writable copy",
@@ -323,7 +330,11 @@ mod tests {
             ),
         );
         a.note_sent(at(40), &msg(0, 2, MsgKind::DataExcl { version: 1 }));
-        a.check_dir_state(BlockAddr(7), &DirState::Exclusive(ProcId(2)));
+        a.check_dir_state(
+            BlockAddr(7),
+            DirState::Exclusive(ProcId(2)),
+            &ReaderSetInterner::new(),
+        );
         a.note_sent(at(50), &msg(0, 2, MsgKind::InvWriteback { swi: false }));
         a.note_delivered(
             at(60),
@@ -406,14 +417,49 @@ mod tests {
     #[test]
     #[should_panic(expected = "reader set misses")]
     fn directory_underapproximation_fails() {
+        let mut sets = ReaderSetInterner::new();
         let mut a = Auditor::new();
         a.note_sent(at(0), &msg(0, 1, MsgKind::DataShared { version: 0 }));
         a.note_sent(at(1), &msg(0, 2, MsgKind::DataShared { version: 0 }));
         // Directory claims only P2 shares the block — P1's copy is lost.
-        a.check_dir_state(
-            BlockAddr(7),
-            &DirState::Shared(ReaderSet::single(ProcId(2))),
-        );
+        let only_p2 = sets.single(ProcId(2));
+        a.check_dir_state(BlockAddr(7), DirState::Shared(only_p2), &sets);
+    }
+
+    #[test]
+    fn wide_reader_shadow_audits_without_cloning() {
+        // A >64-processor machine spills the shadow's reader set; the
+        // single-writer check must still accept a grant to the sole
+        // remaining reader and reject one over live foreign copies —
+        // by iterating, not by deep-cloning the spill on every grant.
+        let mut a = Auditor::new();
+        for r in [1usize, 70, 200] {
+            a.note_sent(at(0), &msg(0, r, MsgKind::DataShared { version: 0 }));
+        }
+        for r in [1usize, 70] {
+            a.note_delivered(
+                at(10),
+                &msg(
+                    r,
+                    0,
+                    MsgKind::InvAck {
+                        proc: ProcId(r),
+                        spec_unused: false,
+                    },
+                ),
+            );
+        }
+        // P200 is the only copy left; an in-place upgrade to it is fine.
+        a.note_sent(at(20), &msg(0, 200, MsgKind::UpgradeAck { version: 1 }));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut b = Auditor::new();
+            b.note_sent(at(0), &msg(0, 1, MsgKind::DataShared { version: 0 }));
+            b.note_sent(at(0), &msg(0, 200, MsgKind::DataShared { version: 0 }));
+            b.note_sent(at(5), &msg(0, 1, MsgKind::DataExcl { version: 1 }));
+        }))
+        .unwrap_err();
+        let text = err.downcast_ref::<String>().expect("panic carries text");
+        assert!(text.contains("read-only copies are outstanding"), "{text}");
     }
 
     #[test]

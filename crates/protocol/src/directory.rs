@@ -16,16 +16,23 @@
 use std::collections::VecDeque;
 
 use specdsm_core::SpecTicket;
-use specdsm_types::{BlockAddr, HomeGeometry, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind};
+use specdsm_types::{BlockAddr, HomeGeometry, MachineConfig, NodeId, ProcId, ReqKind, SetId};
 
 /// Stable sharing state of a block at its home directory (paper
 /// Figure 1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The sharer set is an interned [`SetId`]: machines up to 64
+/// processors encode the set inline in the id itself, wider sets point
+/// into the owning shard's
+/// [`ReaderSetInterner`](specdsm_types::ReaderSetInterner) arena. That
+/// keeps this enum `Copy` — directory records move through snapshots,
+/// audits, and coherence checks without cloning heap words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirState {
     /// No remote copies.
     Idle,
     /// One or more read-only copies.
-    Shared(ReaderSet),
+    Shared(SetId),
     /// A single writable copy.
     Exclusive(ProcId),
 }
@@ -122,10 +129,10 @@ impl DirBlock {
     }
 
     /// Current sharers (empty unless `Shared`).
-    pub fn sharers(&self) -> ReaderSet {
-        match &self.state {
-            DirState::Shared(r) => r.clone(),
-            _ => ReaderSet::new(),
+    pub fn sharers(&self) -> SetId {
+        match self.state {
+            DirState::Shared(r) => r,
+            _ => SetId::EMPTY,
         }
     }
 }
@@ -254,8 +261,7 @@ impl Directory {
     /// block is homed at a different node).
     #[must_use]
     pub fn state(&self, block: BlockAddr) -> DirState {
-        self.lookup(block)
-            .map_or(DirState::Idle, |b| b.state.clone())
+        self.lookup(block).map_or(DirState::Idle, |b| b.state)
     }
 
     /// Memory version of `block` (0 if never touched, or if the block
@@ -291,7 +297,7 @@ impl Directory {
             .iter()
             .enumerate()
             .filter(|(_, b)| b.touched)
-            .map(|(i, b)| (self.block_of(i), b.state.clone(), b.version))
+            .map(|(i, b)| (self.block_of(i), b.state, b.version))
     }
 
     /// Inverse of the dense index mapping: the block address of slot
@@ -344,7 +350,7 @@ impl Directory {
                     "{addr}: queued requests but no transaction"
                 );
             }
-            if let DirState::Shared(r) = &b.state {
+            if let DirState::Shared(r) = b.state {
                 assert!(!r.is_empty(), "{addr}: Shared with empty sharer set");
             }
         }
@@ -354,6 +360,7 @@ impl Directory {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use specdsm_types::ReaderSetInterner;
 
     fn dir(node: usize) -> Directory {
         Directory::new(NodeId(node), &MachineConfig::paper_machine())
@@ -380,20 +387,22 @@ mod tests {
 
     #[test]
     fn sharers_accessor() {
+        let mut sets = ReaderSetInterner::new();
         let mut d = dir(0);
         let b = d.block_mut(BlockAddr(1));
         assert!(b.sharers().is_empty());
-        b.state = DirState::Shared(ReaderSet::single(ProcId(2)));
-        assert!(b.sharers().contains(ProcId(2)));
+        b.state = DirState::Shared(sets.single(ProcId(2)));
+        assert!(sets.contains(b.sharers(), ProcId(2)));
         b.state = DirState::Exclusive(ProcId(1));
         assert!(b.sharers().is_empty());
     }
 
     #[test]
     fn invariants_pass_on_consistent_state() {
+        let mut sets = ReaderSetInterner::new();
         let mut d = dir(0);
         let b = d.block_mut(BlockAddr(1));
-        b.state = DirState::Shared(ReaderSet::single(ProcId(0)));
+        b.state = DirState::Shared(sets.single(ProcId(0)));
         d.check_invariants();
     }
 
@@ -401,7 +410,7 @@ mod tests {
     #[should_panic(expected = "empty sharer set")]
     fn invariants_catch_empty_shared() {
         let mut d = dir(0);
-        d.block_mut(BlockAddr(1)).state = DirState::Shared(ReaderSet::new());
+        d.block_mut(BlockAddr(1)).state = DirState::Shared(SetId::EMPTY);
         d.check_invariants();
     }
 
@@ -509,7 +518,7 @@ mod tests {
             let mut v: Vec<_> = self
                 .blocks
                 .iter()
-                .map(|(a, b)| (*a, b.state.clone(), b.version))
+                .map(|(a, b)| (*a, b.state, b.version))
                 .collect();
             v.sort_by_key(|(a, _, _)| a.0);
             v
@@ -534,21 +543,23 @@ mod tests {
             let mut map: Vec<MapDirectory> =
                 (0..m.num_nodes).map(|_| MapDirectory::new()).collect();
 
-            let apply = |blk: &mut DirBlock, op: &Op, p: ProcId| match op {
-                Op::Read(_) => {
-                    if let DirState::Exclusive(_) = blk.state {
-                        blk.version = blk.next_version - 1;
+            // A single interner serves both storages so equal sharer
+            // sets compare equal by `SetId` in the final diff.
+            let mut sets = ReaderSetInterner::new();
+            let apply =
+                |sets: &mut ReaderSetInterner, blk: &mut DirBlock, op: &Op, p: ProcId| match op {
+                    Op::Read(_) => {
+                        if let DirState::Exclusive(_) = blk.state {
+                            blk.version = blk.next_version - 1;
+                        }
+                        blk.state = DirState::Shared(sets.insert(blk.sharers(), p));
                     }
-                    let mut readers = blk.sharers();
-                    readers.insert(p);
-                    blk.state = DirState::Shared(readers);
-                }
-                Op::Write(_) => {
-                    blk.state = DirState::Exclusive(p);
-                    blk.grant_version();
-                }
-                _ => {}
-            };
+                    Op::Write(_) => {
+                        blk.state = DirState::Exclusive(p);
+                        blk.grant_version();
+                    }
+                    _ => {}
+                };
 
             for (i, stream) in w.build_streams().into_iter().enumerate() {
                 let p = ProcId(i);
@@ -558,8 +569,8 @@ mod tests {
                         _ => continue,
                     };
                     let home = m.home_of(block);
-                    apply(dense[home.0].block_mut(block), &op, p);
-                    apply(map[home.0].block_mut(block), &op, p);
+                    apply(&mut sets, dense[home.0].block_mut(block), &op, p);
+                    apply(&mut sets, map[home.0].block_mut(block), &op, p);
                 }
             }
 

@@ -35,7 +35,8 @@ use std::sync::Arc;
 use specdsm_core::{DirectoryTrace, SpecTicket, SpecTrigger, VSlot};
 use specdsm_sim::{Cycle, FifoResource, KeyedQueue, KeyedQueueSnapshot, SchedKey};
 use specdsm_types::{
-    BlockAddr, DirMsg, FaultPlan, LockId, MachineConfig, NodeId, ProcId, ReaderSet, ReqKind,
+    BlockAddr, DirMsg, FaultPlan, LockId, MachineConfig, NodeId, ProcId, ReaderSet,
+    ReaderSetInterner, ReqKind,
 };
 
 use crate::audit::Auditor;
@@ -160,6 +161,7 @@ pub(crate) struct InFlight {
 pub(crate) struct ShardSnapshot<V: SpecStore> {
     procs: Vec<ProcCheckpoint>,
     dirs: Vec<Directory>,
+    sets: ReaderSetInterner,
     mems: Vec<FifoResource>,
     net: Network,
     spec: SpecEngine<V>,
@@ -191,6 +193,11 @@ pub(crate) struct HomeShard<V: SpecStore> {
     pub procs: Vec<Processor>,
     /// Owned home directories, indexed by `node - lo`.
     pub dirs: Vec<Directory>,
+    /// Hash-cons arena backing the [`DirState::Shared`] sharer sets of
+    /// every owned directory. Shard-local (never shared across worker
+    /// threads), so id assignment depends only on this shard's
+    /// deterministic event order.
+    pub sets: ReaderSetInterner,
     /// Owned memory buses, indexed by `node - lo`.
     pub mems: Vec<FifoResource>,
     /// Owned network interfaces (outbound and inbound).
@@ -269,6 +276,7 @@ impl<V: SpecStore> HomeShard<V> {
             dirs: (lo..hi)
                 .map(|n| Directory::new(NodeId(n), machine))
                 .collect(),
+            sets: ReaderSetInterner::new(),
             mems: (lo..hi).map(|_| FifoResource::new()).collect(),
             net: Network::with_range(lo, hi, machine.latency),
             spec,
@@ -395,6 +403,7 @@ impl<V: SpecStore> HomeShard<V> {
         ShardSnapshot {
             procs: self.procs.iter_mut().map(Processor::checkpoint).collect(),
             dirs: self.dirs.clone(),
+            sets: self.sets.clone(),
             mems: self.mems.clone(),
             net: self.net.clone(),
             spec: self.spec.clone(),
@@ -422,6 +431,7 @@ impl<V: SpecStore> HomeShard<V> {
             p.restore(ck);
         }
         self.dirs.clone_from(&snap.dirs);
+        self.sets.clone_from(&snap.sets);
         self.mems.clone_from(&snap.mems);
         self.net.clone_from(&snap.net);
         self.spec.clone_from(&snap.spec);
@@ -966,7 +976,7 @@ impl<V: SpecStore> HomeShard<V> {
         if dir_bound && self.audit.is_some() {
             let state = self.dirs[dst.0 - self.lo].state(block);
             if let Some(audit) = &mut self.audit {
-                audit.check_dir_state(block, &state);
+                audit.check_dir_state(block, state, &self.sets);
             }
         }
     }
@@ -1083,10 +1093,9 @@ impl<V: SpecStore> HomeShard<V> {
         match owner {
             None => {
                 let t = self.mem_access(now, home);
+                let readers = self.sets.insert(self.dblk_ref(slot).sharers(), p);
                 let version = {
                     let blk = self.dblk(slot);
-                    let mut readers = blk.sharers();
-                    readers.insert(p);
                     blk.state = DirState::Shared(readers);
                     blk.version
                 };
@@ -1124,10 +1133,10 @@ impl<V: SpecStore> HomeShard<V> {
         p: ProcId,
     ) {
         let home = slot.home;
-        let state = match &self.dblk_ref(slot).state {
+        let state = match self.dblk_ref(slot).state {
             DirState::Idle => None,
-            DirState::Shared(r) => Some(Ok(r.clone())),
-            DirState::Exclusive(o) => Some(Err(*o)),
+            DirState::Shared(r) => Some(Ok(r)),
+            DirState::Exclusive(o) => Some(Err(o)),
         };
         match state {
             None => {
@@ -1135,9 +1144,12 @@ impl<V: SpecStore> HomeShard<V> {
                 self.lock_reply(now, slot, vslot, block, sent);
             }
             Some(Ok(readers)) => {
-                let in_place = kind == ReqKind::Upgrade && readers.contains(p);
-                let mut others = readers;
-                others.remove(p);
+                let in_place = kind == ReqKind::Upgrade && self.sets.contains(readers, p);
+                // The invalidation fan-out iterates the set, so a wide
+                // one is materialized once (a transient copy); the
+                // interned record itself is untouched.
+                let others = self.sets.remove(readers, p);
+                let others = self.sets.resolve(others);
                 if others.is_empty() {
                     let sent = self.grant_exclusive(now, slot, vslot, block, p, in_place);
                     self.lock_reply(now, slot, vslot, block, sent);
@@ -1334,9 +1346,10 @@ impl<V: SpecStore> HomeShard<V> {
             TxnKind::Read(requester) => {
                 // Memory absorbs the writeback and sources the reply.
                 let t = self.mem_access(now, home);
+                let single = self.sets.single(requester);
                 let version = {
                     let blk = self.dblk(slot);
-                    blk.state = DirState::Shared(ReaderSet::single(requester));
+                    blk.state = DirState::Shared(single);
                     blk.version
                 };
                 self.send(
@@ -1451,12 +1464,13 @@ impl<V: SpecStore> HomeShard<V> {
     ) -> Option<Cycle> {
         let home = slot.home;
         let (targets, version) = {
-            let blk = self.dblk(slot);
+            let blk = self.dblk_ref(slot);
             debug_assert!(
                 !matches!(blk.state, DirState::Exclusive(_)),
                 "speculative forward while a writable copy exists"
             );
-            (vec - blk.sharers(), blk.version)
+            let targets = self.sets.with(blk.sharers(), |sharers| &vec - sharers);
+            (targets, blk.version)
         };
         if targets.is_empty() {
             return None;
@@ -1474,9 +1488,10 @@ impl<V: SpecStore> HomeShard<V> {
             self.spec.note_sent(vslot, block, r, ticket, trigger);
         }
         {
-            let blk = self.dblk(slot);
-            let merged = blk.sharers() | &targets;
-            blk.state = DirState::Shared(merged);
+            let merged = self
+                .sets
+                .union_with(self.dblk_ref(slot).sharers(), &targets);
+            self.dblk(slot).state = DirState::Shared(merged);
         }
         self.spec.vmsp.speculate_readers(vslot, block, targets);
         Some(t)

@@ -1261,71 +1261,73 @@ impl<V: SpecStore> GenericSystem<V> {
     /// errors.
     fn check_coherence(&self) {
         let procs: Vec<&Processor> = self.shards.iter().flat_map(|s| s.procs.iter()).collect();
-        for dir in self.shards.iter().flat_map(|s| s.dirs.iter()) {
-            dir.check_invariants();
-            for (block, state, version) in dir.iter() {
-                assert!(
-                    !dir.is_busy(block),
-                    "{block}: transaction still in flight at quiescence"
-                );
-                match state {
-                    DirState::Idle => {
-                        for proc in &procs {
-                            assert_eq!(
-                                proc.cache().state(block),
-                                None,
-                                "{block} is Idle but {} holds a copy",
-                                proc.id()
-                            );
-                        }
-                    }
-                    DirState::Shared(readers) => {
-                        for proc in &procs {
-                            let cached = proc.cache().state(block);
-                            if readers.contains(proc.id()) {
-                                // In finite-cache mode a listed sharer
-                                // may have silently evicted its copy;
-                                // the directory is allowed to be stale.
-                                if self.cfg.cache_blocks.is_none() || cached.is_some() {
-                                    assert!(
-                                        matches!(cached, Some(crate::LineState::Shared { .. })),
-                                        "{block}: sharer {} holds {cached:?}",
-                                        proc.id()
-                                    );
-                                    assert_eq!(
-                                        proc.cache().version(block),
-                                        Some(version),
-                                        "{block}: stale copy at {}",
-                                        proc.id()
-                                    );
-                                }
-                            } else {
+        for shard in &self.shards {
+            for dir in &shard.dirs {
+                dir.check_invariants();
+                for (block, state, version) in dir.iter() {
+                    assert!(
+                        !dir.is_busy(block),
+                        "{block}: transaction still in flight at quiescence"
+                    );
+                    match state {
+                        DirState::Idle => {
+                            for proc in &procs {
                                 assert_eq!(
-                                    cached,
+                                    proc.cache().state(block),
                                     None,
-                                    "{block}: non-sharer {} holds a copy",
+                                    "{block} is Idle but {} holds a copy",
                                     proc.id()
                                 );
                             }
                         }
-                    }
-                    DirState::Exclusive(owner) => {
-                        for proc in &procs {
-                            let cached = proc.cache().state(block);
-                            if proc.id() == owner {
-                                assert_eq!(
-                                    cached,
-                                    Some(crate::LineState::Exclusive),
-                                    "{block}: owner {} lost its copy",
-                                    owner
-                                );
-                            } else {
-                                assert_eq!(
-                                    cached,
-                                    None,
-                                    "{block}: {} holds a copy besides the owner",
-                                    proc.id()
-                                );
+                        DirState::Shared(readers) => {
+                            for proc in &procs {
+                                let cached = proc.cache().state(block);
+                                if shard.sets.contains(readers, proc.id()) {
+                                    // In finite-cache mode a listed sharer
+                                    // may have silently evicted its copy;
+                                    // the directory is allowed to be stale.
+                                    if self.cfg.cache_blocks.is_none() || cached.is_some() {
+                                        assert!(
+                                            matches!(cached, Some(crate::LineState::Shared { .. })),
+                                            "{block}: sharer {} holds {cached:?}",
+                                            proc.id()
+                                        );
+                                        assert_eq!(
+                                            proc.cache().version(block),
+                                            Some(version),
+                                            "{block}: stale copy at {}",
+                                            proc.id()
+                                        );
+                                    }
+                                } else {
+                                    assert_eq!(
+                                        cached,
+                                        None,
+                                        "{block}: non-sharer {} holds a copy",
+                                        proc.id()
+                                    );
+                                }
+                            }
+                        }
+                        DirState::Exclusive(owner) => {
+                            for proc in &procs {
+                                let cached = proc.cache().state(block);
+                                if proc.id() == owner {
+                                    assert_eq!(
+                                        cached,
+                                        Some(crate::LineState::Exclusive),
+                                        "{block}: owner {} lost its copy",
+                                        owner
+                                    );
+                                } else {
+                                    assert_eq!(
+                                        cached,
+                                        None,
+                                        "{block}: {} holds a copy besides the owner",
+                                        proc.id()
+                                    );
+                                }
                             }
                         }
                     }

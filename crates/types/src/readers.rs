@@ -281,6 +281,31 @@ impl ReaderSet {
         })
     }
 
+    /// Whether the set has spilled past the inline word, i.e. holds a
+    /// processor `P64` or above. Canonical form makes this equivalent
+    /// to "owns a heap allocation".
+    #[must_use]
+    #[inline]
+    pub fn has_spill(&self) -> bool {
+        self.hi.is_some()
+    }
+
+    /// Heap bytes owned by the spill allocation — `0` for inline sets.
+    /// This is the per-copy cost the storage report must charge for
+    /// every retained clone of a wide set.
+    #[must_use]
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.hi.as_deref().map_or(0, std::mem::size_of_val)
+    }
+
+    /// The spilled words (empty for inline sets); word `j` holds
+    /// `P(64 + 64j) .. P(127 + 64j)`.
+    #[inline]
+    pub(crate) fn spill(&self) -> &[u64] {
+        self.hi.as_deref().unwrap_or(&[])
+    }
+
     /// The low 64 bits of the bit-vector (bit `i` set iff `ProcId(i)`,
     /// `i < 64`, is a member). For sets confined to the inline word —
     /// every machine up to 64 processors — this is the complete raw

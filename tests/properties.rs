@@ -158,6 +158,76 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// ReaderSetInterner: SetId equality ⇔ set equality (hash-consing)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn interned_set_ids_identify_sets(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0usize..3, 0usize..1024, 0usize..1024), 0..40),
+            2..6,
+        ),
+    ) {
+        use specdsm::types::{ReaderSetInterner, SetId};
+
+        let mut sets = ReaderSetInterner::new();
+        // Each script evolves one tracked id through the interner's
+        // functional ops alongside a materialized model set. Processor
+        // ids span the inline/spill boundary (0..256).
+        let mut tracked: Vec<(SetId, ReaderSet)> = Vec::new();
+        for script in &scripts {
+            let mut id = SetId::EMPTY;
+            let mut model = ReaderSet::new();
+            for &(op, a, b) in script {
+                let pa = ProcId(a % 256);
+                let pb = ProcId(b % 256);
+                match op {
+                    0 => {
+                        id = sets.insert(id, pa);
+                        model.insert(pa);
+                    }
+                    1 => {
+                        id = sets.remove(id, pa);
+                        model.remove(pa);
+                    }
+                    _ => {
+                        let other = ReaderSet::from_iter([pa, pb]);
+                        id = sets.union_with(id, &other);
+                        model |= other;
+                    }
+                }
+                // The functional update resolves to exactly the model.
+                prop_assert_eq!(&sets.resolve(id), &model);
+                prop_assert_eq!(sets.len(id), model.len());
+                prop_assert_eq!(id.is_empty(), model.is_empty());
+            }
+            tracked.push((id, model));
+        }
+        for (i, (id_a, set_a)) in tracked.iter().enumerate() {
+            // Hash-consing: within one arena, id equality ⇔ set
+            // equality, across independently-built histories.
+            for (id_b, set_b) in &tracked[i..] {
+                prop_assert_eq!(id_a == id_b, set_a == set_b);
+            }
+            for p in (0..256).step_by(7) {
+                prop_assert_eq!(sets.contains(*id_a, ProcId(p)), set_a.contains(ProcId(p)));
+            }
+            // Canonical spill: an id is inline exactly when the set has
+            // no member >= 64, and then carries the raw bit-vector.
+            prop_assert_eq!(id_a.is_inline(), !set_a.has_spill());
+            if id_a.is_inline() {
+                prop_assert_eq!(id_a.key(), set_a.bits());
+            } else {
+                prop_assert!(sets.with(*id_a, |s| s.iter().any(|p| p.0 >= 64)));
+            }
+            // Re-interning the resolved set returns the identical id.
+            prop_assert_eq!(sets.intern(set_a), *id_a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Event queue ordering
 // ---------------------------------------------------------------------
 

@@ -213,6 +213,62 @@ fn windowed_engine_scales_beyond_64_nodes() {
     }
 }
 
+/// The interned-wide-set regime: at 256 nodes every shared read vector
+/// spills past the 64-bit inline word, so directory `Shared` states,
+/// VMSP read vectors, and pattern-table symbols all live in the
+/// hash-cons arenas. The full suite must stay bit-identical across
+/// engines and worker counts there too — each shard (and each store
+/// backend) owns its own arena and allocates `SetId`s in its own
+/// order, so agreement here proves the simulation is independent of
+/// arena id assignment on wide machines.
+#[test]
+fn interned_wide_sets_bit_identical_at_256_nodes() {
+    let machine = MachineConfig::with_nodes(256);
+    let mut spec_reads = 0u64;
+    for app in AppId::ALL {
+        let w = app.build(&machine, Scale::Quick);
+        for policy in [SpecPolicy::Base, SpecPolicy::SwiFr] {
+            let seq = run_with(&machine, policy, EngineConfig::Sequential, w.as_ref());
+            let one = run_with(
+                &machine,
+                policy,
+                EngineConfig::Windowed { threads: 1 },
+                w.as_ref(),
+            );
+            assert_same_machine(&seq, &one, &format!("{app}@256/{policy}"));
+            let two = run_with(
+                &machine,
+                policy,
+                EngineConfig::Windowed { threads: 2 },
+                w.as_ref(),
+            );
+            assert_bit_identical(&one, &two, &format!("{app}@256/{policy}/threads=2"));
+            if policy == SpecPolicy::SwiFr {
+                let opt1 = run_with(
+                    &machine,
+                    policy,
+                    EngineConfig::Optimistic { threads: 1 },
+                    w.as_ref(),
+                );
+                assert_same_machine(&seq, &opt1, &format!("opt:{app}@256/{policy}"));
+                let opt2 = run_with(
+                    &machine,
+                    policy,
+                    EngineConfig::Optimistic { threads: 2 },
+                    w.as_ref(),
+                );
+                let ctx = format!("opt:{app}@256/{policy}/threads=2");
+                assert_bit_identical(&opt1, &opt2, &ctx);
+                assert_eq!(opt1.optimistic, opt2.optimistic, "{ctx}: window counters");
+                spec_reads += opt1.spec.fr_sent + opt1.spec.swi_sent;
+            }
+        }
+    }
+    // The suite must actually drive speculative wide read vectors
+    // through the arenas, or this only covered the inline fast path.
+    assert!(spec_reads > 0, "256-node suite used speculative reads");
+}
+
 /// The optimistic engine across the full suite and every policy:
 /// bit-identical for any worker-thread count — including the
 /// window/commit/abort/validation counters, which describe scheduling
