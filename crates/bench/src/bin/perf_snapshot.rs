@@ -20,8 +20,14 @@
 //!
 //! ```text
 //! perf_snapshot [--out FILE] [--protocol-out FILE] [--skip-protocol]
+//!     [--engine seq|windowed|optimistic]
 //!     (defaults: BENCH_predictors.json, BENCH_protocol.json)
 //! ```
+//!
+//! `--engine` runs the end-to-end suite on the chosen engine (parallel
+//! engines at 2 workers) and restricts the scaling matrix to that
+//! engine family; the default keeps the historical shape — sequential
+//! suite, full matrix.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -246,15 +252,17 @@ const SEED_PER_RUN_WALL_MS: [(&str, f64); 21] = [
 ];
 
 /// Runs the full application suite end to end (default scale, paper
-/// machine) once per policy and records per-run wall time and event
-/// throughput. One untimed warm-up run precedes the measurements.
-fn protocol_rows() -> Vec<ProtoRow> {
+/// machine) once per policy on `engine` and records per-run wall time
+/// and event throughput. One untimed warm-up run precedes the
+/// measurements.
+fn protocol_rows(engine: EngineConfig) -> Vec<ProtoRow> {
     let machine = MachineConfig::paper_machine();
     // Warm-up: populate allocator arenas and branch predictors.
     {
         let w = AppId::Ocean.build(&machine, Scale::Default);
         let cfg = SystemConfig {
             machine: machine.clone(),
+            engine,
             ..SystemConfig::default()
         };
         let _ = System::new(cfg, w.as_ref()).expect("valid").run();
@@ -266,6 +274,7 @@ fn protocol_rows() -> Vec<ProtoRow> {
             let cfg = SystemConfig {
                 machine: machine.clone(),
                 policy,
+                engine,
                 ..SystemConfig::default()
             };
             let sys = System::new(cfg, w.as_ref()).expect("valid");
@@ -285,6 +294,7 @@ fn protocol_rows() -> Vec<ProtoRow> {
 }
 
 struct ScalingRow {
+    app: String,
     nodes: usize,
     scale: &'static str,
     /// `"sequential"`, `"windowed-Nt"`, or `"optimistic-Nt"`.
@@ -304,49 +314,91 @@ struct ScalingRow {
 /// (the former `ReaderSet` ceiling), and 256 (well past it, quick
 /// inputs to bound runtime). Each node count runs the sequential
 /// engine once and the windowed and optimistic engines at 1, 2, and 4
-/// workers.
-fn scaling_rows() -> Vec<ScalingRow> {
+/// workers. Two extra quick-scale optimistic rows (em3d and tomcatv on
+/// the paper machine) track the adaptive engine's commit ratio and
+/// committed-cycle fraction at the scale the differential tests pin.
+/// `only` restricts the matrix to one engine family (`--engine`).
+fn scaling_rows(only: Option<&str>) -> Vec<ScalingRow> {
     let mut rows = Vec::new();
+    let mut run_one = |app: AppId,
+                       nodes: usize,
+                       scale: Scale,
+                       scale_name: &'static str,
+                       engine_name: String,
+                       threads: usize,
+                       engine: EngineConfig| {
+        let machine = MachineConfig::with_nodes(nodes);
+        let w = app.build(&machine, scale);
+        let cfg = SystemConfig {
+            machine,
+            policy: SpecPolicy::SwiFr,
+            engine,
+            ..SystemConfig::default()
+        };
+        let sys = System::new(cfg, w.as_ref()).expect("valid");
+        let start = Instant::now();
+        let stats = sys.run();
+        rows.push(ScalingRow {
+            app: app.to_string(),
+            nodes,
+            scale: scale_name,
+            engine: engine_name,
+            threads,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            sim_events: stats.sim_events,
+            exec_cycles: stats.exec_cycles,
+            opt: stats.optimistic,
+        });
+    };
+    let wanted = |family: &str| only.is_none_or(|f| f == family);
     for (nodes, scale, scale_name) in [
         (16usize, Scale::Default, "Default"),
         (64, Scale::Default, "Default"),
         (256, Scale::Quick, "Quick"),
     ] {
-        let machine = MachineConfig::with_nodes(nodes);
-        let w = AppId::Em3d.build(&machine, scale);
-        let mut engines = vec![("sequential".to_string(), 0usize, EngineConfig::Sequential)];
+        let mut engines = Vec::new();
+        if wanted("seq") {
+            engines.push(("sequential".to_string(), 0usize, EngineConfig::Sequential));
+        }
         for threads in [1usize, 2, 4] {
-            engines.push((
-                format!("windowed-{threads}t"),
-                threads,
-                EngineConfig::Windowed { threads },
-            ));
-            engines.push((
-                format!("optimistic-{threads}t"),
-                threads,
-                EngineConfig::Optimistic { threads },
-            ));
+            if wanted("windowed") {
+                engines.push((
+                    format!("windowed-{threads}t"),
+                    threads,
+                    EngineConfig::Windowed { threads },
+                ));
+            }
+            if wanted("optimistic") {
+                engines.push((
+                    format!("optimistic-{threads}t"),
+                    threads,
+                    EngineConfig::Optimistic { threads },
+                ));
+            }
         }
         for (engine_name, threads, engine) in engines {
-            let cfg = SystemConfig {
-                machine: machine.clone(),
-                policy: SpecPolicy::SwiFr,
-                engine,
-                ..SystemConfig::default()
-            };
-            let sys = System::new(cfg, w.as_ref()).expect("valid");
-            let start = Instant::now();
-            let stats = sys.run();
-            rows.push(ScalingRow {
+            run_one(
+                AppId::Em3d,
                 nodes,
-                scale: scale_name,
-                engine: engine_name,
+                scale,
+                scale_name,
+                engine_name,
                 threads,
-                wall_ms: start.elapsed().as_secs_f64() * 1e3,
-                sim_events: stats.sim_events,
-                exec_cycles: stats.exec_cycles,
-                opt: stats.optimistic,
-            });
+                engine,
+            );
+        }
+    }
+    if wanted("optimistic") {
+        for app in [AppId::Em3d, AppId::Tomcatv] {
+            run_one(
+                app,
+                16,
+                Scale::Quick,
+                "Quick",
+                "optimistic-2t".to_string(),
+                2,
+                EngineConfig::Optimistic { threads: 2 },
+            );
         }
     }
     rows
@@ -426,7 +478,12 @@ fn policy_overhead(rows: &[ProtoRow], policy: &str) -> (f64, f64) {
     )
 }
 
-fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow], faults: &[FaultRow]) -> String {
+fn render_protocol_json(
+    engine_name: &str,
+    rows: &[ProtoRow],
+    scaling: &[ScalingRow],
+    faults: &[FaultRow],
+) -> String {
     let suite_wall_ms: f64 = rows.iter().map(|r| r.wall_ms).sum();
     let total_events: u64 = rows.iter().map(|r| r.sim_events).sum();
     let events_per_sec = total_events as f64 / (suite_wall_ms / 1e3);
@@ -438,6 +495,7 @@ fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow], faults: &[Fau
     out.push_str("{\n");
     out.push_str("  \"bench\": \"protocol_end_to_end\",\n");
     out.push_str("  \"scale\": \"Default\",\n");
+    let _ = writeln!(out, "  \"suite_engine\": \"{engine_name}\",");
     out.push_str("  \"machine_nodes\": 16,\n");
     let _ = writeln!(
         out,
@@ -521,12 +579,19 @@ fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow], faults: &[Fau
         // Optimistic rows carry their window/validation counters — the
         // commit ratio and re-execution volume explain their wall
         // clock; the model outputs themselves stay engine-invariant.
+        // `commit_ratio` counts windows that landed any work (full or
+        // prefix); `committed_cycles_per_abort` is the simulated
+        // progress bought per rollback, the adaptive engine's figure
+        // of merit.
         let opt = if r.engine.starts_with("optimistic") {
             let o = r.opt;
+            let aborts = o.sync_aborts + o.stuck_aborts;
             format!(
                 ", \"optimistic\": {{\"windows\": {}, \"committed\": {}, \"sync_aborts\": {}, \
                  \"stuck_aborts\": {}, \"validation_failures\": {}, \"executions\": {}, \
-                 \"reexecutions\": {}, \"conservative_rounds\": {}}}",
+                 \"reexecutions\": {}, \"conservative_rounds\": {}, \"committed_cycles\": {}, \
+                 \"partial_commits\": {}, \"reexec_passes_saved\": {}, \"commit_ratio\": {:.3}, \
+                 \"committed_cycles_per_abort\": {:.1}, \"committed_cycle_fraction\": {:.3}}}",
                 o.windows,
                 o.committed,
                 o.sync_aborts,
@@ -534,17 +599,31 @@ fn render_protocol_json(rows: &[ProtoRow], scaling: &[ScalingRow], faults: &[Fau
                 o.validation_failures,
                 o.executions,
                 o.reexecutions,
-                o.conservative_rounds
+                o.conservative_rounds,
+                o.committed_cycles,
+                o.partial_commits,
+                o.reexec_passes_saved,
+                (o.committed + o.partial_commits) as f64 / o.windows.max(1) as f64,
+                o.committed_cycles as f64 / aborts.max(1) as f64,
+                o.committed_cycles as f64 / r.exec_cycles.max(1) as f64,
             )
         } else {
             String::new()
         };
         let _ = writeln!(
             out,
-            "    {{\"app\": \"em3d\", \"nodes\": {}, \"scale\": \"{}\", \"engine\": \"{}\", \
+            "    {{\"app\": \"{}\", \"nodes\": {}, \"scale\": \"{}\", \"engine\": \"{}\", \
              \"threads\": {}, \"wall_ms\": {:.1}, \"sim_events\": {}, \"events_per_sec\": {:.0}, \
              \"exec_cycles\": {}{opt}}}{comma}",
-            r.nodes, r.scale, r.engine, r.threads, r.wall_ms, r.sim_events, eps, r.exec_cycles
+            r.app,
+            r.nodes,
+            r.scale,
+            r.engine,
+            r.threads,
+            r.wall_ms,
+            r.sim_events,
+            eps,
+            r.exec_cycles
         );
     }
     out.push_str("  ],\n");
@@ -654,6 +733,7 @@ fn main() {
     let mut out_path = String::from("BENCH_predictors.json");
     let mut protocol_out_path = String::from("BENCH_protocol.json");
     let mut skip_protocol = false;
+    let mut engine_arg: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -670,9 +750,13 @@ fn main() {
                 });
             }
             "--skip-protocol" => skip_protocol = true,
+            "--engine" => {
+                engine_arg = Some(args.next().unwrap_or_default());
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: perf_snapshot [--out FILE] [--protocol-out FILE] [--skip-protocol]"
+                    "usage: perf_snapshot [--out FILE] [--protocol-out FILE] [--skip-protocol] \
+                     [--engine seq|windowed|optimistic]"
                 );
                 return;
             }
@@ -682,6 +766,15 @@ fn main() {
             }
         }
     }
+    let (engine_name, suite_engine) = match engine_arg.as_deref() {
+        None | Some("seq") => ("seq", EngineConfig::Sequential),
+        Some("windowed") => ("windowed", EngineConfig::Windowed { threads: 2 }),
+        Some("optimistic") => ("optimistic", EngineConfig::Optimistic { threads: 2 }),
+        Some(other) => {
+            eprintln!("unknown engine '{other}' (seq|windowed|optimistic)");
+            std::process::exit(2);
+        }
+    };
 
     let window = Duration::from_millis(300);
     eprintln!("measuring observe throughput (9 configurations)...");
@@ -702,13 +795,13 @@ fn main() {
     if skip_protocol {
         return;
     }
-    eprintln!("running end-to-end suite (7 apps x 3 policies, default scale)...");
-    let rows = protocol_rows();
+    eprintln!("running end-to-end suite (7 apps x 3 policies, default scale, {engine_name})...");
+    let rows = protocol_rows(suite_engine);
     eprintln!("running scaling matrix (nodes 16/64/256 x engines)...");
-    let scaling = scaling_rows();
+    let scaling = scaling_rows(engine_arg.as_deref());
     eprintln!("running fault-injection probe (em3d, audited, 2 policies x 2 engines)...");
     let faults = fault_rows();
-    let json = render_protocol_json(&rows, &scaling, &faults);
+    let json = render_protocol_json(engine_name, &rows, &scaling, &faults);
     print!("{json}");
     if let Err(e) = std::fs::write(&protocol_out_path, &json) {
         eprintln!("cannot write {protocol_out_path}: {e}");

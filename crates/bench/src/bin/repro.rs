@@ -3,16 +3,19 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--scale quick|default|paper] [--threads N]
-//!       [--out DIR]
+//!       [--engine seq|windowed|optimistic] [--out DIR]
 //!
 //! EXPERIMENT: config fig6 fig7 fig8 table3 table4 fig9 table5 all
 //!             (default: all)
 //! ```
 //!
-//! `--threads N` runs the simulations on the windowed sharded engine
-//! with N worker threads (default: the sequential engine; results can
-//! differ from it only in deterministic same-cycle tie-breaking — see
-//! `docs/ARCHITECTURE.md`).
+//! `--engine` picks the simulation engine explicitly: `seq` (the
+//! default single-shard engine), `windowed` (conservative bounded-lag
+//! shards), or `optimistic` (speculative windows with adaptive
+//! sizing). `--threads N` sets the worker count for the parallel
+//! engines; on its own it implies `--engine windowed` (the historical
+//! behaviour). Engine choice perturbs results only by deterministic
+//! same-cycle tie-breaking — see `docs/ARCHITECTURE.md`.
 //!
 //! Output goes to stdout and, with `--out`, one text file per
 //! experiment in DIR.
@@ -21,7 +24,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use specdsm_bench::{fig6, fig7, fig8, fig9, table3, table4, table5, Lab, Scale, TextTable};
-use specdsm_protocol::SpecPolicy;
+use specdsm_protocol::{EngineConfig, SpecPolicy};
 use specdsm_types::MachineConfig;
 use specdsm_workloads::AppId;
 
@@ -30,6 +33,7 @@ fn main() {
     let mut scale = Scale::Default;
     let mut out_dir: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut engine: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +57,9 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--engine" => {
+                engine = Some(args.next().unwrap_or_default());
+            }
             "--out" => {
                 out_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
@@ -62,7 +69,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [config|fig6|fig7|fig8|table3|table4|fig9|table5|all ...] \
-                     [--scale quick|default|paper] [--threads N] [--out DIR]"
+                     [--scale quick|default|paper] [--threads N] \
+                     [--engine seq|windowed|optimistic] [--out DIR]"
                 );
                 return;
             }
@@ -83,8 +91,25 @@ fn main() {
     }
 
     let mut lab = Lab::new(scale);
-    if let Some(threads) = threads {
-        lab.set_threads(threads);
+    match engine.as_deref() {
+        // Historical behaviour: `--threads N` alone selects the
+        // windowed engine (N = 0 for sequential).
+        None => {
+            if let Some(threads) = threads {
+                lab.set_threads(threads);
+            }
+        }
+        Some("seq") => lab.set_engine(EngineConfig::Sequential),
+        Some("windowed") => lab.set_engine(EngineConfig::Windowed {
+            threads: threads.unwrap_or(1).max(1),
+        }),
+        Some("optimistic") => lab.set_engine(EngineConfig::Optimistic {
+            threads: threads.unwrap_or(1).max(1),
+        }),
+        Some(other) => {
+            eprintln!("unknown engine '{other}' (seq|windowed|optimistic)");
+            std::process::exit(2);
+        }
     }
     for exp in &experiments {
         let text = match exp.as_str() {

@@ -46,6 +46,15 @@ impl Lab {
         self.runs.clear();
     }
 
+    /// Switches every subsequent simulation onto an explicit engine
+    /// (`repro --engine seq|windowed|optimistic`). Cached runs are
+    /// dropped, same as [`set_threads`](Lab::set_threads).
+    pub fn set_engine(&mut self, engine: EngineConfig) {
+        self.engine = engine;
+        self.traces.clear();
+        self.runs.clear();
+    }
+
     /// The machine all experiments run on.
     #[must_use]
     pub fn machine(&self) -> &MachineConfig {

@@ -1,0 +1,128 @@
+//! Feedback controller for the optimistic engine's window length.
+//!
+//! The optimistic engine speculates through windows measured in
+//! bounded-lag rounds. A fixed window wastes opportunity both ways:
+//! conflict-light phases could absorb much longer windows (fewer
+//! snapshot/validate passes per simulated cycle), while conflict-heavy
+//! phases waste whole windows on rollbacks. [`WindowController`] is a
+//! small AIMD (additive-increase, multiplicative-decrease) loop over
+//! the engine's own commit/abort history: grow by one round after a
+//! streak of clean commits, halve on an abort, clamp to the configured
+//! bounds.
+//!
+//! Determinism: the controller is part of engine state and transitions
+//! only on window outcomes, which are themselves bit-identical across
+//! worker-thread counts — so the window trajectory (and therefore
+//! every downstream counter) is too.
+
+/// Commits in a row required before the window grows by one round.
+/// Two keeps a lone lucky window from inflating the next attempt.
+const GROW_AFTER: u32 = 2;
+
+/// AIMD controller for the optimistic window length, in rounds.
+///
+/// Drive it with [`on_commit`](WindowController::on_commit),
+/// [`on_partial`](WindowController::on_partial), and
+/// [`on_abort`](WindowController::on_abort);
+/// [`rounds`](WindowController::rounds) is the length the next window
+/// should use. The value is always within the `[min, max]` bounds
+/// given at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowController {
+    cur: u32,
+    streak: u32,
+    min: u32,
+    max: u32,
+}
+
+impl WindowController {
+    /// Creates a controller starting at `initial` rounds, clamped to
+    /// `[min, max]`. `min` must not exceed `max` (enforced upstream by
+    /// `OptimisticConfig::validate`; clamped defensively here).
+    #[must_use]
+    pub fn new(initial: u32, min: u32, max: u32) -> Self {
+        let max = max.max(min);
+        WindowController {
+            cur: initial.clamp(min, max),
+            streak: 0,
+            min,
+            max,
+        }
+    }
+
+    /// Window length, in bounded-lag rounds, for the next attempt.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.cur
+    }
+
+    /// Records a fully committed window: extends the streak and, once
+    /// the streak reaches the growth threshold, adds one round (up to
+    /// the maximum).
+    pub fn on_commit(&mut self) {
+        self.streak = self.streak.saturating_add(1);
+        if self.streak >= GROW_AFTER {
+            self.cur = (self.cur + 1).min(self.max);
+        }
+    }
+
+    /// Records a partial-prefix commit: some progress landed, so the
+    /// window holds its size, but the streak resets — the tail of the
+    /// window did conflict.
+    pub fn on_partial(&mut self) {
+        self.streak = 0;
+    }
+
+    /// Records an aborted window: halves the window (down to the
+    /// minimum) and resets the streak.
+    pub fn on_abort(&mut self) {
+        self.streak = 0;
+        self.cur = (self.cur / 2).max(self.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_only_after_streak() {
+        let mut c = WindowController::new(4, 2, 16);
+        c.on_commit();
+        assert_eq!(c.rounds(), 4);
+        c.on_commit();
+        assert_eq!(c.rounds(), 5);
+        c.on_commit();
+        assert_eq!(c.rounds(), 6);
+    }
+
+    #[test]
+    fn abort_halves_and_clamps() {
+        let mut c = WindowController::new(16, 2, 16);
+        c.on_abort();
+        assert_eq!(c.rounds(), 8);
+        c.on_abort();
+        assert_eq!(c.rounds(), 4);
+        c.on_abort();
+        c.on_abort();
+        c.on_abort();
+        assert_eq!(c.rounds(), 2);
+    }
+
+    #[test]
+    fn partial_resets_streak_but_holds_size() {
+        let mut c = WindowController::new(4, 2, 16);
+        c.on_commit();
+        c.on_partial();
+        c.on_commit();
+        assert_eq!(c.rounds(), 4, "streak was reset by the partial");
+        c.on_commit();
+        assert_eq!(c.rounds(), 5);
+    }
+
+    #[test]
+    fn initial_is_clamped() {
+        assert_eq!(WindowController::new(1, 2, 16).rounds(), 2);
+        assert_eq!(WindowController::new(64, 2, 16).rounds(), 16);
+    }
+}

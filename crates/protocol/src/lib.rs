@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adapt;
 mod audit;
 mod cache;
 mod directory;
@@ -76,6 +77,7 @@ mod stats;
 mod sync;
 mod system;
 
+pub use adapt::WindowController;
 pub use cache::{Cache, LineState};
 pub use directory::{DirState, Directory};
 pub use msg::{Msg, MsgKind};

@@ -129,9 +129,13 @@ impl Directive {
 pub(crate) enum ShardYield {
     /// No pending event below the horizon.
     Idle,
-    /// A sync operation was encountered; it is parked in
-    /// [`HomeShard::paused`] and the shard processes nothing until the
-    /// engine applies it (via directives) and clears the pause.
+    /// One or more sync operations were encountered; they are parked in
+    /// [`HomeShard::paused`] until the engine arbitrates them (via
+    /// directives) and unparks the affected processors. A single-proc
+    /// shard stops dead at its op; a grouped (multi-proc) shard parks
+    /// the op and keeps processing events strictly below the earliest
+    /// parked cycle, so sibling processors make progress and any
+    /// earlier-cycle sync op is still discovered.
     Sync,
 }
 
@@ -169,7 +173,7 @@ pub(crate) struct ShardSnapshot<V: SpecStore> {
     seq: u64,
     cur: Cycle,
     pending_in: std::collections::BTreeMap<SchedKey, InFlight>,
-    paused: Option<SyncOp>,
+    paused: Vec<SyncOp>,
     trace: Option<DirectoryTrace>,
     last_cycle: Cycle,
     done_count: usize,
@@ -218,8 +222,10 @@ pub(crate) struct HomeShard<V: SpecStore> {
     /// NI acquisition (their send window may still be open elsewhere).
     /// Sorted by key; key order == global send order.
     pub pending_in: std::collections::BTreeMap<SchedKey, InFlight>,
-    /// Parked sync operation; set by [`ShardYield::Sync`].
-    pub paused: Option<SyncOp>,
+    /// Parked sync operations, in event (nondecreasing-cycle) order;
+    /// pushed on [`ShardYield::Sync`], removed per-processor when the
+    /// engine resolves them. At most one entry per owned processor.
+    pub paused: Vec<SyncOp>,
     /// Per-shard directory message trace (merged at run end).
     pub trace: Option<DirectoryTrace>,
     /// Deliver cross-node messages inline (sequential mode) instead of
@@ -245,6 +251,10 @@ pub(crate) struct HomeShard<V: SpecStore> {
     req_seen: Vec<Vec<u64>>,
     /// Optional runtime coherence auditor (purely observational).
     pub audit: Option<Box<Auditor>>,
+    /// Node → owning-shard map (shared, engine-built). Identity in
+    /// per-home mode, all-zero in sequential mode, contiguous ranges
+    /// under grouped sharding.
+    shard_map: Arc<[ShardId]>,
 }
 
 impl<V: SpecStore> HomeShard<V> {
@@ -261,6 +271,7 @@ impl<V: SpecStore> HomeShard<V> {
         max_cycles: Option<u64>,
         faults: Option<Arc<FaultPlan>>,
         audit: bool,
+        shard_map: Arc<[ShardId]>,
     ) -> Self {
         debug_assert_eq!(procs.len(), hi - lo);
         let req_seen = if faults.is_some() {
@@ -285,7 +296,7 @@ impl<V: SpecStore> HomeShard<V> {
             cur: Cycle::ZERO,
             outbox: Vec::new(),
             pending_in: std::collections::BTreeMap::new(),
-            paused: None,
+            paused: Vec::new(),
             trace: record_trace.then(DirectoryTrace::new),
             immediate,
             last_cycle: Cycle::ZERO,
@@ -299,6 +310,7 @@ impl<V: SpecStore> HomeShard<V> {
             fstats: FaultStats::default(),
             req_seen,
             audit: audit.then(|| Box::new(Auditor::new())),
+            shard_map,
         }
     }
 
@@ -411,7 +423,7 @@ impl<V: SpecStore> HomeShard<V> {
             seq: self.seq,
             cur: self.cur,
             pending_in: self.pending_in.clone(),
-            paused: self.paused,
+            paused: self.paused.clone(),
             trace: self.trace.clone(),
             last_cycle: self.last_cycle,
             done_count: self.done_count,
@@ -439,7 +451,7 @@ impl<V: SpecStore> HomeShard<V> {
         self.seq = snap.seq;
         self.cur = snap.cur;
         self.pending_in.clone_from(&snap.pending_in);
-        self.paused = snap.paused;
+        self.paused.clone_from(&snap.paused);
         self.trace.clone_from(&snap.trace);
         self.last_cycle = snap.last_cycle;
         self.done_count = snap.done_count;
@@ -505,15 +517,60 @@ impl<V: SpecStore> HomeShard<V> {
         }
     }
 
+    /// Whether this shard parks sync operations and keeps running
+    /// (grouped multi-proc shards) instead of stopping dead at the
+    /// first one (single-proc per-home shards, and the sequential
+    /// engine which resolves ops inline at their exact event
+    /// position).
+    #[inline]
+    pub(crate) fn parks_and_continues(&self) -> bool {
+        self.hi - self.lo > 1 && !self.immediate
+    }
+
+    /// Removes the parked sync operation of `proc` (the engine resolved
+    /// it and applied the matching directives).
+    pub(crate) fn unpark(&mut self, proc: ProcId) {
+        self.paused.retain(|o| o.proc != proc);
+    }
+
+    /// Cycle of the earliest parked sync operation, if any. `paused`
+    /// is push-ordered (a later-parked op can precede an earlier one
+    /// in cycle), so this scans — the vector holds at most one entry
+    /// per owned processor.
+    pub(crate) fn paused_min_at(&self) -> Option<Cycle> {
+        self.paused.iter().map(|o| o.at).min()
+    }
+
     /// Processes queued events with cycle **strictly below** `horizon`,
-    /// stopping early if a sync operation is encountered (it parks in
-    /// [`HomeShard::paused`] and the shard must not proceed until the
-    /// engine resolves it).
+    /// parking any sync operation encountered in [`HomeShard::paused`].
+    ///
+    /// A single-proc shard returns [`ShardYield::Sync`] immediately at
+    /// the op (nothing else can run until the engine resolves it). A
+    /// grouped shard instead caps its effective horizon at the earliest
+    /// parked op plus one: events strictly below that cycle are
+    /// independent of the op's resolution (every directive's effect
+    /// starts at `op.at + 1`), so sibling processors keep running and
+    /// any sync op at an earlier cycle is still discovered and reported
+    /// — which is what keeps global sync arbitration in (cycle, proc)
+    /// order.
     pub(crate) fn run_until(&mut self, horizon: Cycle) -> ShardYield {
-        if self.paused.is_some() {
+        let park_continue = self.parks_and_continues();
+        if !park_continue && !self.paused.is_empty() {
             return ShardYield::Sync;
         }
-        while let Some((now, event)) = self.queue.pop_before(horizon) {
+        loop {
+            // Never process past the earliest parked op: its resolution
+            // effects begin at `op.at + 1`. `paused` is push-ordered,
+            // not cycle-ordered — a shard can park at 100, keep
+            // running, and park another processor at 95 — so take the
+            // minimum, not the first entry.
+            let cap = match self.paused_min_at() {
+                Some(at) => horizon.min(at + 1),
+                None => horizon,
+            };
+            let Some((now, event)) = self.queue.pop_before(cap) else {
+                break;
+            };
             if let Some(limit) = self.max_cycles {
                 assert!(
                     now.raw() <= limit,
@@ -525,8 +582,10 @@ impl<V: SpecStore> HomeShard<V> {
             match event {
                 Event::Resume(p) => {
                     if let Some(op) = self.step_proc(now, p) {
-                        self.paused = Some(op);
-                        return ShardYield::Sync;
+                        self.paused.push(op);
+                        if !park_continue {
+                            return ShardYield::Sync;
+                        }
                     }
                 }
                 Event::Deliver(msg) => self.deliver(now, msg),
@@ -538,7 +597,11 @@ impl<V: SpecStore> HomeShard<V> {
                 }
             }
         }
-        ShardYield::Idle
+        if self.paused.is_empty() {
+            ShardYield::Idle
+        } else {
+            ShardYield::Sync
+        }
     }
 
     /// The directory record of a resolved slot.
@@ -697,7 +760,7 @@ impl<V: SpecStore> HomeShard<V> {
         if drop {
             return;
         }
-        if self.immediate {
+        if self.immediate || self.owns(dst) {
             let handoff = self.net.arrive(at_dst, dst);
             self.sched(handoff, Event::Deliver(msg));
         } else {
@@ -846,9 +909,20 @@ impl<V: SpecStore> HomeShard<V> {
     // Message plumbing
     // ------------------------------------------------------------------
 
-    /// The shard owning `node` in windowed (per-home) mode.
+    /// The shard owning `node` (engine-built map; identity in per-home
+    /// mode).
     fn shard_of(&self, node: NodeId) -> ShardId {
-        node.0 as ShardId
+        self.shard_map[node.0]
+    }
+
+    /// Whether `node` is one of this shard's own homes. Cross-node
+    /// sends between two owned nodes complete inline (both endpoints'
+    /// NIs are local state), exactly like sequential mode; routing them
+    /// through the outbox would hand the shard its own messages back as
+    /// speculative inputs and double-deliver on re-execution.
+    #[inline]
+    fn owns(&self, node: NodeId) -> bool {
+        (self.lo..self.hi).contains(&node.0)
     }
 
     #[inline]
@@ -870,9 +944,10 @@ impl<V: SpecStore> HomeShard<V> {
             return;
         }
         let at_dst = self.net.depart(now, src);
-        if self.immediate {
-            // Sequential mode owns both endpoints: complete the
-            // delivery inline, exactly like the monolithic engine.
+        if self.immediate || self.owns(dst) {
+            // Both endpoints owned (sequential mode, or an intra-shard
+            // send under grouped sharding): complete the delivery
+            // inline, exactly like the monolithic engine.
             let handoff = self.net.arrive(at_dst, dst);
             self.sched(handoff, Event::Deliver(msg));
         } else {

@@ -117,6 +117,23 @@ pub struct OptimisticStats {
     /// Conservative bounded-lag rounds interleaved between windows
     /// (sync phases and post-abort cool-down).
     pub conservative_rounds: u64,
+    /// Simulated cycles committed speculatively (window length summed
+    /// over full and partial commits). The committed-cycle fraction of
+    /// `exec_cycles` is the engine's headline efficiency metric.
+    #[serde(default)]
+    pub committed_cycles: u64,
+    /// Windows rescued by a partial-prefix commit: the full window
+    /// failed (counted under `sync_aborts`/`stuck_aborts`) but a
+    /// shortened prefix below the trouble cycle re-validated and
+    /// committed instead of rolling the whole window back.
+    #[serde(default)]
+    pub partial_commits: u64,
+    /// Re-execution passes avoided by estimate deferral: shards whose
+    /// inputs matched what they executed against — merely awaiting a
+    /// producer's re-publication — kept their buffered outputs in the
+    /// multi-version view instead of re-running.
+    #[serde(default)]
+    pub reexec_passes_saved: u64,
 }
 
 /// Result of one complete system simulation.

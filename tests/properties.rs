@@ -430,6 +430,71 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Adaptive window controller (AIMD) under arbitrary outcome histories
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The optimistic engine's window length must stay inside the
+    /// configured `[min, max]` band, follow the exact AIMD step law
+    /// (grow by one only after a streak of clean commits, hold on a
+    /// partial, halve on an abort), be a pure function of the outcome
+    /// history — which is what makes the window trajectory identical
+    /// across 1/2/4 worker threads, since the outcomes themselves are
+    /// bit-identical — and respond monotonically: upgrading any single
+    /// outcome (abort → partial → commit) never shrinks any later
+    /// window.
+    #[test]
+    fn window_controller_is_bounded_deterministic_and_monotone(
+        init in 0u32..40,
+        min in 1u32..8,
+        span in 0u32..24,
+        events in proptest::collection::vec(0u8..3, 1..160),
+        flip_pick in 0usize..160,
+    ) {
+        use specdsm::protocol::WindowController;
+
+        let max = min + span;
+        let mut base = WindowController::new(init, min, max);
+        let mut replay = WindowController::new(init, min, max);
+        let mut upgraded = WindowController::new(init, min, max);
+        let flip = flip_pick % events.len();
+        let step = |c: &mut WindowController, e: u8| match e {
+            0 => c.on_abort(),
+            1 => c.on_partial(),
+            _ => c.on_commit(),
+        };
+        let mut streak = 0u32;
+        prop_assert!(base.rounds() >= min && base.rounds() <= max);
+        for (i, &e) in events.iter().enumerate() {
+            let before = base.rounds();
+            step(&mut base, e);
+            step(&mut replay, e);
+            // `upgraded` sees a better-or-equal outcome at `flip`
+            // (commit dominates both others) and the same elsewhere.
+            step(&mut upgraded, if i == flip { 2 } else { e });
+            streak = if e == 2 { streak + 1 } else { 0 };
+            let after = base.rounds();
+            prop_assert!(after >= min && after <= max, "window within bounds");
+            let want = match e {
+                0 => (before / 2).max(min),
+                1 => before,
+                _ if streak >= 2 => (before + 1).min(max),
+                _ => before,
+            };
+            prop_assert_eq!(after, want, "AIMD step law at event {}", i);
+            prop_assert_eq!(replay.rounds(), after, "pure function of outcomes");
+            prop_assert!(
+                upgraded.rounds() >= after,
+                "a better history never shrinks the window ({} < {} at event {})",
+                upgraded.rounds(),
+                after,
+                i
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Protocol fuzz: random barrier-synchronized programs stay coherent
 // ---------------------------------------------------------------------
 
